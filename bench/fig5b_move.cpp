@@ -1,0 +1,55 @@
+// Figure 5(b) — Reusability: throughput of the optimized
+// speculation-friendly tree on workloads with 90% read-only operations and
+// 10% updates of which 1/5/10 percentage points are composed `move`
+// operations (an atomic erase+insert built from the public interface).
+//
+// Shape to reproduce: throughput decreases as the share of moves grows,
+// because a move protects more of the structure for longer than a simple
+// insert or delete.
+#include <cstdio>
+
+#include "bench_core/cli.hpp"
+#include "bench_core/harness.hpp"
+#include "bench_core/report.hpp"
+#include "stm/runtime.hpp"
+#include "trees/map_interface.hpp"
+
+namespace bench = sftree::bench;
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+
+int main(int argc, char** argv) {
+  bench::Cli cli(argc, argv);
+  const auto threadCounts = cli.intList("threads", {1, 2, 4});
+  const auto movePcts = cli.realList("moves", {1, 5, 10});
+  const int durationMs = static_cast<int>(cli.integer("duration-ms", 200));
+  const auto sizeLog = cli.integer("size-log", 12);
+
+  std::printf("Figure 5(b): Opt SFtree, 10%% effective updates of which X%% "
+              "are moves; throughput (ops/us)\n");
+  std::vector<std::string> header{"threads"};
+  for (const double m : movePcts) {
+    header.push_back(bench::Table::num(m, 0) + "% move");
+  }
+  bench::Table table(header);
+  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  for (const int threads : threadCounts) {
+    std::vector<std::string> row{bench::Table::num(threads)};
+    for (const double movePct : movePcts) {
+      bench::RunConfig cfg;
+      cfg.initialSize = std::int64_t{1} << sizeLog;
+      cfg.workload.keyRange = cfg.initialSize * 2;
+      cfg.workload.updatePercent = 10.0 - movePct;  // moves are updates too
+      cfg.workload.movePercent = movePct;
+      cfg.threads = threads;
+      cfg.durationMs = durationMs;
+      auto map = trees::makeMap(trees::MapKind::OptSFTree);
+      bench::populate(*map, cfg);
+      const auto result = bench::runThroughput(*map, cfg);
+      row.push_back(bench::Table::num(result.opsPerMicrosecond()));
+    }
+    table.addRow(row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 6 — The STAMP vacation travel-reservation application built on the
+// red-black tree, the optimized speculation-friendly tree, and the
+// no-restructuring tree: execution time and speedup over bare sequential
+// code, under high and low contention, with 1x/8x/16x the base transaction
+// count.
+//
+// Shape to reproduce: vacation is always at least as fast on the Opt-SFtree
+// as on the RBtree, the gap widening with more transactions (more
+// contention); the NRtree is comparable to the SFtree.
+#include <cstdio>
+
+#include "bench_core/cli.hpp"
+#include "bench_core/report.hpp"
+#include "stm/runtime.hpp"
+#include "vacation/vacation_app.hpp"
+
+namespace bench = sftree::bench;
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+namespace vac = sftree::vacation;
+
+int main(int argc, char** argv) {
+  bench::Cli cli(argc, argv);
+  const auto threadCounts = cli.intList("threads", {1, 2, 4});
+  const auto multipliers = cli.intList("multipliers", {1, 8, 16});
+  const auto baseTxns = cli.integer("transactions", 4096);
+  const auto relations = cli.integer("relations", 1 << 10);
+
+  const std::vector<trees::MapKind> kinds = {
+      trees::MapKind::RBTree, trees::MapKind::OptSFTree,
+      trees::MapKind::NRTree};
+
+  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+
+  for (const bool high : {true, false}) {
+    for (const int mult : multipliers) {
+      const std::int64_t txns = baseTxns * mult;
+      vac::ClientConfig client =
+          high ? vac::highContentionConfig() : vac::lowContentionConfig();
+      client.relations = relations;
+
+      // Bare sequential baseline: one thread, unsynchronized std::map
+      // directories (see MapKind::SeqSTL).
+      vac::VacationConfig seqCfg;
+      seqCfg.client = client;
+      seqCfg.tableKind = trees::MapKind::SeqSTL;
+      seqCfg.threads = 1;
+      seqCfg.transactions = txns;
+      const double seqSeconds = vac::runVacation(seqCfg).seconds;
+
+      std::printf("\nFigure 6 [vacation %s contention, %dx transactions "
+                  "(%lld), %lld relations] — seconds (speedup over "
+                  "sequential %.2fs)\n",
+                  high ? "high" : "low", mult, static_cast<long long>(txns),
+                  static_cast<long long>(relations), seqSeconds);
+
+      std::vector<std::string> header{"threads"};
+      for (const auto kind : kinds) header.push_back(trees::mapKindName(kind));
+      bench::Table table(header);
+      for (const int threads : threadCounts) {
+        std::vector<std::string> row{bench::Table::num(threads)};
+        for (const auto kind : kinds) {
+          vac::VacationConfig cfg;
+          cfg.client = client;
+          cfg.tableKind = kind;
+          cfg.threads = threads;
+          cfg.transactions = txns;
+          const auto result = vac::runVacation(cfg);
+          if (!result.consistent) {
+            std::fprintf(stderr, "CONSISTENCY FAILURE: %s\n",
+                         result.consistencyError.c_str());
+            return 1;
+          }
+          const double speedup = seqSeconds / result.seconds;
+          row.push_back(bench::Table::num(result.seconds, 2) + "s (" +
+                        bench::Table::num(speedup, 2) + "x)");
+        }
+        table.addRow(row);
+      }
+      table.print();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// STM primitive costs (google-benchmark): not a paper figure, but the
+// ablation behind §3.3's claim that unit loads are cheaper than
+// transactional reads and that read-set growth is what makes long
+// traversals expensive.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+namespace stm = sftree::stm;
+
+namespace {
+
+void BM_EmptyTransaction(benchmark::State& state) {
+  for (auto _ : state) {
+    stm::atomically([](stm::Tx&) {});
+  }
+}
+BENCHMARK(BM_EmptyTransaction);
+
+void BM_ReadOnlyTransaction(benchmark::State& state) {
+  const auto reads = state.range(0);
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (std::int64_t i = 0; i < reads; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(i));
+  }
+  for (auto _ : state) {
+    std::int64_t sum = stm::atomically([&](stm::Tx& tx) {
+      std::int64_t s = 0;
+      for (auto& f : fields) s += f->read(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * reads);
+}
+BENCHMARK(BM_ReadOnlyTransaction)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_UreadTransaction(benchmark::State& state) {
+  const auto reads = state.range(0);
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (std::int64_t i = 0; i < reads; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(i));
+  }
+  for (auto _ : state) {
+    std::int64_t sum = stm::atomically([&](stm::Tx& tx) {
+      std::int64_t s = 0;
+      for (auto& f : fields) s += f->uread(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * reads);
+}
+BENCHMARK(BM_UreadTransaction)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ElasticTraversal(benchmark::State& state) {
+  const auto reads = state.range(0);
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (std::int64_t i = 0; i < reads; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(i));
+  }
+  for (auto _ : state) {
+    std::int64_t sum = stm::atomically(stm::TxKind::Elastic, [&](stm::Tx& tx) {
+      std::int64_t s = 0;
+      for (auto& f : fields) s += f->read(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * reads);
+}
+BENCHMARK(BM_ElasticTraversal)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_WriteCommit(benchmark::State& state) {
+  const auto writes = state.range(0);
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (std::int64_t i = 0; i < writes; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(0));
+  }
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    ++v;
+    stm::atomically([&](stm::Tx& tx) {
+      for (auto& f : fields) f->write(tx, v);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * writes);
+}
+BENCHMARK(BM_WriteCommit)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_WriteCommitEager(benchmark::State& state) {
+  stm::Runtime::instance().setLockMode(stm::LockMode::Eager);
+  const auto writes = state.range(0);
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (std::int64_t i = 0; i < writes; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(0));
+  }
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    ++v;
+    stm::atomically([&](stm::Tx& tx) {
+      for (auto& f : fields) f->write(tx, v);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * writes);
+  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+}
+BENCHMARK(BM_WriteCommitEager)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Table 1 — Maximum number of transactional reads per operation on
+// 2^12-sized balanced search trees as the update ratio increases.
+//
+// Paper row format:
+//   Update            0%  10%  20%  30%  40%  50%
+//   AVL tree          29  415  711 1008 1981 2081
+//   Oracle red-black  31  573  965 1108 1484 1545
+//   Speculation-friendly 29 75  123  120  144  180
+//
+// The count includes the reads of every aborted attempt plus the committed
+// attempt's read set (operation brackets in stm::ThreadStats). We also add
+// the Opt-SFtree row: the uread optimization of §3.3 keeps the bracket even
+// flatter because traversal unit loads are not transactional reads.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_core/cli.hpp"
+#include "bench_core/harness.hpp"
+#include "bench_core/report.hpp"
+#include "stm/runtime.hpp"
+#include "trees/map_interface.hpp"
+
+namespace bench = sftree::bench;
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+
+int main(int argc, char** argv) {
+  bench::Cli cli(argc, argv);
+  const auto updates = cli.realList("updates", {0, 10, 20, 30, 40, 50});
+  // The paper uses 48 threads on 48 cores; default to the hardware so the
+  // application threads are not oversubscribed against the rotator thread.
+  const int defaultThreads = std::clamp(
+      static_cast<int>(std::thread::hardware_concurrency()), 1, 4);
+  const int threads = static_cast<int>(cli.integer("threads", defaultThreads));
+  const int durationMs = static_cast<int>(cli.integer("duration-ms", 250));
+  const auto sizeLog = cli.integer("size-log", 12);
+
+  std::printf(
+      "Table 1: max transactional reads per operation (tree size 2^%lld, "
+      "%d threads, TinySTM-CTL equivalent)\n",
+      static_cast<long long>(sizeLog), threads);
+
+  const std::vector<trees::MapKind> kinds = {
+      trees::MapKind::AVLTree, trees::MapKind::RBTree, trees::MapKind::SFTree,
+      trees::MapKind::OptSFTree};
+
+  std::vector<std::string> header{"Update"};
+  for (const double u : updates) header.push_back(bench::Table::num(u, 0) + "%");
+  bench::Table table(header);
+
+  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  for (const auto kind : kinds) {
+    std::vector<std::string> row{trees::mapKindName(kind)};
+    for (const double u : updates) {
+      bench::RunConfig cfg;
+      cfg.initialSize = std::int64_t{1} << sizeLog;
+      cfg.workload.keyRange = cfg.initialSize * 2;
+      cfg.workload.updatePercent = u;
+      cfg.threads = threads;
+      cfg.durationMs = durationMs;
+      auto map = trees::makeMap(kind);
+      bench::populate(*map, cfg);
+      const auto result = bench::runThroughput(*map, cfg);
+      // max, as the paper reports, plus the mean in parentheses: on an
+      // oversubscribed machine the max statistic is occasionally poisoned
+      // by a single retry storm against the rotator thread.
+      row.push_back(bench::Table::num(result.stm.maxOpReads) + " (" +
+                    bench::Table::num(result.stm.meanOpReads(), 1) + ")");
+    }
+    table.addRow(row);
+  }
+  table.print();
+  std::printf(
+      "\nCells are max (mean) transactional reads per operation, retries "
+      "included.\nShape to check against the paper: the coupled trees (AVL, "
+      "RB) blow up by >10x\nfrom 0%% to 10%% updates; the "
+      "speculation-friendly tree stays within a few x\n(judge by the mean "
+      "when a single retry storm inflates a max cell).\n");
+  return 0;
+}

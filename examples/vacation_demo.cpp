@@ -1,0 +1,45 @@
+// The travel-reservation application (STAMP vacation) on the optimized
+// speculation-friendly tree: four tree-backed tables accessed by client
+// transactions that compose queries, reservations and cancellations.
+#include <cstdio>
+
+#include "vacation/vacation_app.hpp"
+
+namespace vac = sftree::vacation;
+namespace trees = sftree::trees;
+
+int main() {
+  vac::VacationConfig cfg;
+  cfg.client = vac::highContentionConfig();
+  cfg.client.relations = 1 << 10;
+  cfg.tableKind = trees::MapKind::OptSFTree;
+  cfg.threads = 4;
+  cfg.transactions = 20'000;
+
+  std::printf("vacation: %lld relations/table, %lld transactions, %d threads, "
+              "%s tables (high contention mix: %d%% reservations)\n",
+              static_cast<long long>(cfg.client.relations),
+              static_cast<long long>(cfg.transactions), cfg.threads,
+              trees::mapKindName(cfg.tableKind),
+              cfg.client.userTransactionPercent);
+
+  const auto result = vac::runVacation(cfg);
+
+  std::printf("\nduration            : %.3f s (%.0f tx/s)\n", result.seconds,
+              result.transactionsPerSecond(cfg.transactions));
+  std::printf("make-reservation tx : %llu (%llu reservations made)\n",
+              static_cast<unsigned long long>(result.clientStats.makeReservation),
+              static_cast<unsigned long long>(result.clientStats.reservationsMade));
+  std::printf("delete-customer tx  : %llu\n",
+              static_cast<unsigned long long>(result.clientStats.deleteCustomer));
+  std::printf("update-tables tx    : %llu\n",
+              static_cast<unsigned long long>(result.clientStats.updateTables));
+  std::printf("stm commits/aborts  : %llu / %llu (%.2f%% aborted)\n",
+              static_cast<unsigned long long>(result.stm.commits),
+              static_cast<unsigned long long>(result.stm.aborts),
+              100.0 * result.stm.abortRatio());
+  std::printf("database consistent : %s %s\n",
+              result.consistent ? "yes" : "NO",
+              result.consistencyError.c_str());
+  return result.consistent ? 0 : 1;
+}

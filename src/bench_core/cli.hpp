@@ -1,0 +1,85 @@
+// Minimal --key=value command-line parsing shared by the bench binaries.
+// Every binary runs with no arguments using container-scale defaults;
+// paper-scale sweeps are reached with flags like
+//   fig3_microbench --threads=1,8,16,24,32,40,48 --duration-ms=10000
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sftree::bench {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string str(const std::string& key, const std::string& dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+
+  std::int64_t integer(const std::string& key, std::int64_t dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stoll(it->second);
+  }
+
+  double real(const std::string& key, double dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stod(it->second);
+  }
+
+  bool flag(const std::string& key, bool dflt = false) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    return it->second != "false" && it->second != "0";
+  }
+
+  // Comma-separated integer list, e.g. --threads=1,2,4.
+  std::vector<int> intList(const std::string& key,
+                           std::vector<int> dflt) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    std::vector<int> out;
+    std::stringstream ss(it->second);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) out.push_back(std::stoi(tok));
+    }
+    return out.empty() ? dflt : out;
+  }
+
+  std::vector<double> realList(const std::string& key,
+                               std::vector<double> dflt) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    std::vector<double> out;
+    std::stringstream ss(it->second);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) out.push_back(std::stod(tok));
+    }
+    return out.empty() ? dflt : out;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace sftree::bench

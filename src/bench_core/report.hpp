@@ -1,0 +1,64 @@
+// Plain-text table rendering for the benchmark binaries: each bench prints
+// the same rows/series as the paper's corresponding table or figure.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sftree::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  Table& addRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string num(int v) { return std::to_string(v); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    printRow(os, header_, widths);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 3;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) printRow(os, row, widths);
+    os.flush();
+  }
+
+ private:
+  static void printRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < widths.size()) os << " | ";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sftree::bench

@@ -1,0 +1,38 @@
+// Small, fast, seedable PRNG (xoshiro-style xorshift) for workload
+// generation. Deliberately not std::mt19937: benchmark inner loops sample a
+// key per operation and the generator must be cheap and per-thread.
+#pragma once
+
+#include <cstdint>
+
+namespace sftree::bench {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {
+    // Warm up so that close seeds diverge.
+    for (int i = 0; i < 4; ++i) next();
+  }
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t nextBounded(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform in [0.0, 1.0).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool nextBool() { return (next() & 1) != 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sftree::bench

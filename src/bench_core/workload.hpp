@@ -1,0 +1,107 @@
+// Integer-set micro-benchmark workloads (paper §5.2, synchrobench
+// equivalent).
+//
+// * Normal: keys uniform over [0, keyRange); an update is an insert or a
+//   remove with equal probability, so the expected set size stays at
+//   keyRange/2 (the paper fixes the expectation to 2^12 this way).
+// * Biased: "inserting (resp. deleting) random values skewed towards high
+//   (resp. low) numbers in the value range: the values ... are skewed with a
+//   fixed probability by incrementing (resp. decrementing) with an integer
+//   uniformly taken within [0..9]". We realize this as drifting per-thread
+//   cursors: each insert key is the previous insert key plus U[0..9]
+//   (wrapping), each delete key the previous delete key minus U[0..9], which
+//   yields the sustained high/low skew that collapses the no-restructuring
+//   tree to a linear shape exactly as in Figure 3 (right).
+//
+// Update ratios are *effective*: the paper counts only operations that
+// modified the structure. At steady state roughly half the attempted
+// updates fail (insert of a present key / remove of an absent one), so the
+// generator attempts updates at twice the target rate and the harness
+// reports the measured effective ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "bench_core/rng.hpp"
+#include "trees/key.hpp"
+
+namespace sftree::bench {
+
+enum class OpType { Contains, Insert, Remove, Move };
+
+struct WorkloadConfig {
+  std::int64_t keyRange = 1 << 13;  // 2x the expected set size of 2^12
+  // Target effective update ratio in percent (paper: 0..50).
+  double updatePercent = 10.0;
+  // Of the update budget, fraction that are composed move operations
+  // (Figure 5(b): 1%, 5%, 10% of all operations).
+  double movePercent = 0.0;
+  bool biased = false;
+};
+
+struct Op {
+  OpType type;
+  sftree::Key key;
+  sftree::Key destKey;  // move only
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg),
+        rng_(seed),
+        insertCursor_(static_cast<sftree::Key>(rng_.nextBounded(
+            static_cast<std::uint64_t>(cfg.keyRange)))),
+        deleteCursor_(static_cast<sftree::Key>(rng_.nextBounded(
+            static_cast<std::uint64_t>(cfg.keyRange)))) {}
+
+  Op next() {
+    const double roll = rng_.nextDouble() * 100.0;
+    const double attemptedUpdates = effectiveToAttempted(cfg_.updatePercent);
+    const double movesShare = effectiveToAttempted(cfg_.movePercent);
+    if (roll < movesShare) {
+      return Op{OpType::Move, uniformKey(), uniformKey()};
+    }
+    if (roll < attemptedUpdates) {
+      if (rng_.nextBool()) {
+        return Op{OpType::Insert, insertKey(), 0};
+      }
+      return Op{OpType::Remove, removeKey(), 0};
+    }
+    return Op{OpType::Contains, uniformKey(), 0};
+  }
+
+  sftree::Key uniformKey() {
+    return static_cast<sftree::Key>(
+        rng_.nextBounded(static_cast<std::uint64_t>(cfg_.keyRange)));
+  }
+
+ private:
+  // Attempted = 2x effective (capped), since ~half the attempts fail at
+  // steady state.
+  static double effectiveToAttempted(double effective) {
+    const double attempted = 2.0 * effective;
+    return attempted > 100.0 ? 100.0 : attempted;
+  }
+
+  sftree::Key insertKey() {
+    if (!cfg_.biased) return uniformKey();
+    insertCursor_ += static_cast<sftree::Key>(rng_.nextBounded(10));
+    if (insertCursor_ >= cfg_.keyRange) insertCursor_ -= cfg_.keyRange;
+    return insertCursor_;
+  }
+
+  sftree::Key removeKey() {
+    if (!cfg_.biased) return uniformKey();
+    deleteCursor_ -= static_cast<sftree::Key>(rng_.nextBounded(10));
+    if (deleteCursor_ < 0) deleteCursor_ += cfg_.keyRange;
+    return deleteCursor_;
+  }
+
+  WorkloadConfig cfg_;
+  Rng rng_;
+  sftree::Key insertCursor_;
+  sftree::Key deleteCursor_;
+};
+
+}  // namespace sftree::bench

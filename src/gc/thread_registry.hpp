@@ -1,0 +1,83 @@
+// Thread registry for the paper's quiescence-based reclamation (§3.4).
+//
+// Every application thread that operates on a tree owns a slot with
+//   * a boolean `pending`  — an abstract operation is in flight, and
+//   * a counter `completed` — number of finished operations.
+// The maintenance thread snapshots all slots before a traversal; after the
+// traversal, retired nodes older than the snapshot may be freed once every
+// slot has either completed an operation since the snapshot or had none
+// pending at snapshot time (those threads can no longer hold references to
+// nodes that were unlinked before the snapshot: any later search restarts
+// from the root, which no longer reaches them).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sftree::gc {
+
+class ThreadRegistry {
+ public:
+  struct alignas(64) Slot {
+    std::atomic<bool> pending{false};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<bool> inUse{false};
+  };
+
+  struct SlotSnapshot {
+    const Slot* slot;
+    bool pending;
+    std::uint64_t completed;
+  };
+  using Snapshot = std::vector<SlotSnapshot>;
+
+  ThreadRegistry();
+  ~ThreadRegistry() = default;
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  // The calling thread's slot in this registry (allocated or reused on
+  // first use, cached thread-locally, released at thread exit). Slots are
+  // shared_ptr-owned so a cached reference can never dangle even if the
+  // registry is destroyed before the thread exits.
+  Slot& currentSlot();
+
+  // Copies every in-use slot's state (maintenance thread).
+  Snapshot snapshot() const;
+
+  // True when every thread that was mid-operation at snapshot time has
+  // since completed at least one operation.
+  bool quiescedSince(const Snapshot& snap) const;
+
+  std::size_t slotCountForTest() const;
+
+ private:
+  std::shared_ptr<Slot> acquireSlot();
+
+  const std::uint64_t id_;  // process-unique, never reused
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Slot>> slots_;
+};
+
+// RAII bracket around one abstract operation (insert/delete/contains/...).
+// While alive, retired nodes the operation might still reference are kept.
+class OpGuard {
+ public:
+  explicit OpGuard(ThreadRegistry& reg) : slot_(reg.currentSlot()) {
+    slot_.pending.store(true, std::memory_order_release);
+  }
+  ~OpGuard() {
+    slot_.completed.fetch_add(1, std::memory_order_release);
+    slot_.pending.store(false, std::memory_order_release);
+  }
+  OpGuard(const OpGuard&) = delete;
+  OpGuard& operator=(const OpGuard&) = delete;
+
+ private:
+  ThreadRegistry::Slot& slot_;
+};
+
+}  // namespace sftree::gc

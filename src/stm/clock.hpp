@@ -1,0 +1,24 @@
+// Global version clock (TL2 / TinySTM style).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sftree::stm {
+
+// A monotonically increasing commit timestamp shared by all transactions.
+// Read at transaction begin (snapshot), incremented once per writing commit.
+class GlobalClock {
+ public:
+  std::uint64_t now() const { return time_.load(std::memory_order_acquire); }
+
+  // Returns the new (post-increment) commit timestamp.
+  std::uint64_t tick() { return time_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+  void resetForTest() { time_.store(0, std::memory_order_release); }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> time_{0};
+};
+
+}  // namespace sftree::stm

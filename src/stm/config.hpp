@@ -1,0 +1,47 @@
+// STM configuration knobs.
+#pragma once
+
+#include <cstdint>
+
+namespace sftree::stm {
+
+// When write locks are acquired.
+//  * Lazy  == TinySTM-CTL (commit-time locking): writes are buffered and the
+//    orecs are locked only during commit. This is the paper's default
+//    configuration ("TinySTM-CTL, i.e., with lazy acquirement").
+//  * Eager == TinySTM-ETL (encounter-time locking): the orec is locked at the
+//    first write; values are still buffered (write-back).
+enum class LockMode : std::uint8_t { Lazy, Eager };
+
+// Which TM algorithm backs the transactions.
+//  * Orec: the TinySTM/TL2-style word STM above (orec table + version
+//    clock); LockMode selects CTL vs ETL.
+//  * NOrec: Dalessandro/Spear/Scott's NOrec — a single global sequence lock
+//    with value-based revalidation and no per-location metadata. Included
+//    to demonstrate the paper's §5.3 claim that the speculation-friendly
+//    tree's benefit is independent of the TM algorithm (NOrec is one of
+//    the TMs synchrobench exercises). LockMode is ignored; commit-time
+//    write-back happens under the global lock.
+enum class TmBackend : std::uint8_t { Orec, NOrec };
+
+// Transaction kind.
+//  * Normal: opaque TL2-style transaction.
+//  * Elastic: E-STM style. While the transaction has not written, reads are
+//    tracked hand-over-hand in a small sliding window; older reads are
+//    implicitly dropped ("cut") instead of being validated at commit. After
+//    the first write the transaction behaves like a Normal one (the window
+//    is folded into the read set).
+enum class TxKind : std::uint8_t { Normal, Elastic };
+
+struct Config {
+  LockMode lockMode = LockMode::Lazy;
+  TmBackend backend = TmBackend::Orec;
+  // Elastic window: number of most recent reads that must stay valid.
+  // The E-STM paper uses pairs of hand-over-hand reads.
+  std::uint32_t elasticWindow = 2;
+  // Contention management: bounded randomized exponential backoff.
+  std::uint32_t backoffMinSpins = 32;
+  std::uint32_t backoffMaxSpins = 1 << 14;
+};
+
+}  // namespace sftree::stm

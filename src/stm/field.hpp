@@ -1,0 +1,68 @@
+// Typed word-sized transactional fields.
+//
+// A TxField<T> is the unit of sharing: all concurrent access goes through a
+// transaction (read/write/uread). Plain accessors exist for initialization
+// and for single-owner contexts (e.g. the maintenance thread's private
+// balance metadata) and are named to make that visible at call sites.
+#pragma once
+
+#include <atomic>
+
+#include "stm/tx.hpp"
+#include "stm/word.hpp"
+
+namespace sftree::stm {
+
+template <typename T>
+class TxField {
+ public:
+  TxField() : raw_(RawCodec<T>::encode(T{})) {}
+  explicit TxField(T v) : raw_(RawCodec<T>::encode(v)) {}
+
+  TxField(const TxField&) = delete;
+  TxField& operator=(const TxField&) = delete;
+
+  // Transactional read (recorded in the read set / elastic window).
+  T read(Tx& tx) const {
+    return RawCodec<T>::decode(tx.read(&raw_));
+  }
+
+  // Transactional write (buffered until commit).
+  void write(Tx& tx, T v) {
+    tx.write(&raw_, RawCodec<T>::encode(v));
+  }
+
+  // Unit load: latest committed value, no read-set entry (paper's uread).
+  T uread(Tx& tx) const {
+    return RawCodec<T>::decode(tx.uread(&raw_));
+  }
+
+  // Latest value outside any transaction. Single-word atomic; may observe a
+  // value an in-flight commit is writing back, so only use where that is
+  // acceptable (diagnostics, quiesced checks, single-owner metadata).
+  T loadRelaxed() const {
+    return RawCodec<T>::decode(
+        std::atomic_ref<Word>(const_cast<Word&>(raw_))
+            .load(std::memory_order_relaxed));
+  }
+
+  // As loadRelaxed, but acquire-ordered: pairs with the STM's release
+  // write-back so that dereferencing a pointer loaded this way observes the
+  // pointee's initialization (maintenance-thread traversals).
+  T loadAcquire() const {
+    return RawCodec<T>::decode(
+        std::atomic_ref<Word>(const_cast<Word&>(raw_))
+            .load(std::memory_order_acquire));
+  }
+
+  // Non-transactional store for initialization or single-owner fields.
+  void storeRelaxed(T v) {
+    std::atomic_ref<Word>(raw_).store(RawCodec<T>::encode(v),
+                                      std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(sizeof(Word)) Word raw_;
+};
+
+}  // namespace sftree::stm

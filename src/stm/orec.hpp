@@ -1,0 +1,81 @@
+// Ownership records (orecs) and the global orec table.
+//
+// Every shared word hashes to one orec. An orec word encodes either
+//   * unlocked + version:  (version << 1)          -- LSB clear
+//   * locked by tx:        (descriptor ptr | 1)    -- LSB set
+// Versions are commit timestamps from the global clock, so they strictly
+// increase; the pointer encoding relies on descriptors being 8-byte aligned.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "stm/word.hpp"
+
+namespace sftree::stm {
+
+class Tx;  // forward declaration; orecs store owner pointers when locked
+
+using OrecWord = std::uint64_t;
+
+namespace orec {
+
+inline constexpr OrecWord kLockBit = 1;
+
+inline bool isLocked(OrecWord w) { return (w & kLockBit) != 0; }
+
+inline std::uint64_t version(OrecWord w) { return w >> 1; }
+
+inline OrecWord makeVersion(std::uint64_t ts) { return ts << 1; }
+
+inline OrecWord makeLocked(const Tx* owner) {
+  return reinterpret_cast<OrecWord>(owner) | kLockBit;
+}
+
+inline Tx* owner(OrecWord w) {
+  return reinterpret_cast<Tx*>(w & ~kLockBit);
+}
+
+}  // namespace orec
+
+// A fixed-size, process-wide striped lock/version table. The table is
+// deliberately not resizable: the memory addressed by transactions maps onto
+// it by hashing, exactly as in TinySTM's ownership array.
+class OrecTable {
+ public:
+  // 2^20 orecs * 8 B = 8 MiB. Large enough that false conflicts are rare in
+  // the benchmarks, small enough to stay cache-friendly. Tests can exercise
+  // hash collisions by artificially shrinking the mask (see maskForTest).
+  static constexpr std::size_t kLogSize = 20;
+  static constexpr std::size_t kSize = std::size_t{1} << kLogSize;
+
+  OrecTable() : mask_(kSize - 1) {}
+
+  std::atomic<OrecWord>* forAddress(const void* addr) {
+    // Word-granularity mapping with a Fibonacci multiplicative mix so that
+    // consecutive fields of one node spread across stripes.
+    auto a = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    a *= 0x9E3779B97F4A7C15ULL;
+    return &table_[(a >> 16) & mask_];
+  }
+
+  // Test hook: constrain the effective table size to force collisions.
+  void setMaskForTest(std::size_t mask) { mask_ = mask; }
+  std::size_t mask() const { return mask_; }
+
+  void resetForTest() {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      table_[i].store(0, std::memory_order_relaxed);
+    }
+    mask_ = kSize - 1;
+  }
+
+ private:
+  std::size_t mask_;
+  // Value-initialized: all orecs start unlocked at version 0.
+  std::unique_ptr<std::atomic<OrecWord>[]> table_ =
+      std::make_unique<std::atomic<OrecWord>[]>(kSize);
+};
+
+}  // namespace sftree::stm

@@ -1,0 +1,95 @@
+#include "stm/runtime.hpp"
+
+#include <algorithm>
+
+namespace sftree::stm {
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+void Runtime::registerTx(Tx* tx) {
+  std::lock_guard<std::mutex> lk(mu_);
+  live_.push_back(tx);
+}
+
+void Runtime::unregisterTx(Tx* tx) {
+  std::lock_guard<std::mutex> lk(mu_);
+  departed_ += tx->stats();
+  live_.erase(std::remove(live_.begin(), live_.end(), tx), live_.end());
+}
+
+ThreadStats Runtime::aggregateStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ThreadStats total = departed_;
+  for (Tx* tx : live_) total += tx->stats();
+  return total;
+}
+
+void Runtime::resetStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  departed_.reset();
+  for (Tx* tx : live_) tx->stats().reset();
+}
+
+namespace detail {
+
+ThreadContext::~ThreadContext() {
+  if (tx) Runtime::instance().unregisterTx(tx.get());
+}
+
+Tx& ThreadContext::acquire() {
+  if (!tx) {
+    tx = std::make_unique<Tx>(Runtime::instance());
+    Runtime::instance().registerTx(tx.get());
+  }
+  return *tx;
+}
+
+ThreadContext& context() {
+  thread_local ThreadContext ctx;
+  return ctx;
+}
+
+namespace {
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// xorshift64* — cheap thread-local randomness for backoff jitter.
+inline std::uint64_t nextRandom(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1DULL;
+}
+}  // namespace
+
+void backoff(Tx& tx) {
+  const Config& cfg = Runtime::instance().config();
+  const std::uint32_t shift = std::min<std::uint32_t>(tx.attempts(), 16);
+  std::uint64_t ceiling = std::uint64_t{cfg.backoffMinSpins} << shift;
+  ceiling = std::min<std::uint64_t>(ceiling, cfg.backoffMaxSpins);
+  thread_local std::uint64_t seed =
+      0x9E3779B97F4A7C15ULL ^ reinterpret_cast<std::uintptr_t>(&tx);
+  const std::uint64_t spins = nextRandom(seed) % (ceiling + 1);
+  for (std::uint64_t i = 0; i < spins; ++i) cpuRelax();
+}
+
+}  // namespace detail
+
+bool inTransaction() {
+  detail::ThreadContext& ctx = detail::context();
+  return ctx.tx != nullptr && ctx.tx->active();
+}
+
+Tx& currentTx() { return *detail::context().tx; }
+
+ThreadStats& threadStats() { return detail::context().acquire().stats(); }
+
+}  // namespace sftree::stm

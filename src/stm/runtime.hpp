@@ -1,0 +1,86 @@
+// Process-wide STM runtime: clock, orec table, configuration and the thread
+// registry used for statistics aggregation.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "stm/clock.hpp"
+#include "stm/config.hpp"
+#include "stm/orec.hpp"
+#include "stm/stats.hpp"
+#include "stm/tx.hpp"
+
+namespace sftree::stm {
+
+class Runtime {
+ public:
+  static Runtime& instance();
+
+  GlobalClock& clock() { return clock_; }
+  OrecTable& orecs() { return orecs_; }
+  // NOrec global sequence lock: even = free, odd = a writer is committing.
+  std::atomic<std::uint64_t>& norecSeq() { return norecSeq_; }
+
+  const Config& config() const { return config_; }
+  // Must only be called while no transaction is running (e.g. between
+  // benchmark phases); the lock mode is read at every write/commit.
+  void setConfig(const Config& c) { config_ = c; }
+  void setLockMode(LockMode m) { config_.lockMode = m; }
+
+  // --- thread registry -----------------------------------------------------
+  // Descriptors register on creation so that aggregate statistics include
+  // every thread that ever ran transactions (departed threads fold their
+  // stats into `departed_`).
+  void registerTx(Tx* tx);
+  void unregisterTx(Tx* tx);
+
+  // Sum of all per-thread statistics. Only exact when no transactions are in
+  // flight; during a run it is an (acceptable) racy snapshot for progress
+  // reporting.
+  ThreadStats aggregateStats();
+  // Zeroes every registered thread's counters (quiescent use only).
+  void resetStats();
+
+ private:
+  Runtime() = default;
+
+  GlobalClock clock_;
+  OrecTable orecs_;
+  Config config_;
+  alignas(64) std::atomic<std::uint64_t> norecSeq_{0};
+
+  std::mutex mu_;
+  std::vector<Tx*> live_;
+  ThreadStats departed_;
+};
+
+namespace detail {
+
+// Per-thread transaction context. The descriptor is created lazily on the
+// first atomically() and unregistered when the thread exits.
+struct ThreadContext {
+  std::unique_ptr<Tx> tx;
+
+  ~ThreadContext();
+  Tx& acquire();
+};
+
+ThreadContext& context();
+
+// Bounded randomized exponential backoff keyed on the retry count.
+void backoff(Tx& tx);
+
+}  // namespace detail
+
+// True when the calling thread is inside a transaction.
+bool inTransaction();
+
+// The calling thread's active transaction. Precondition: inTransaction().
+Tx& currentTx();
+
+// The calling thread's statistics (descriptor created on demand).
+ThreadStats& threadStats();
+
+}  // namespace sftree::stm

@@ -1,0 +1,88 @@
+// Per-thread and aggregated STM statistics.
+//
+// The paper's Table 1 reports the *maximum number of transactional reads per
+// operation*, counting the reads of every aborted attempt plus the read set
+// of the committed attempt. ThreadStats therefore exposes an "operation
+// bracket" (beginOp/endOp): data-structure operations wrap each abstract
+// operation in a bracket and the STM accumulates reads into it across
+// retries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sftree::stm {
+
+struct ThreadStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t reads = 0;        // transactional reads (recorded in read set)
+  std::uint64_t ureads = 0;       // unit loads (not recorded)
+  std::uint64_t writes = 0;
+  std::uint64_t elasticCuts = 0;  // elastic window slides past an old entry
+  std::uint64_t snapshotExtensions = 0;
+
+  // Operation bracket (Table 1 instrumentation). Reentrant: nested brackets
+  // (an operation composed into an enclosing one, e.g. inside vacation
+  // transactions) fold into the outermost bracket.
+  std::uint64_t ops = 0;
+  std::uint64_t opReads = 0;      // reads since beginOp, across retries
+  std::uint64_t maxOpReads = 0;
+  std::uint64_t totalOpReads = 0;
+  int opDepth = 0;
+  bool opOpen = false;
+
+  void beginOp() {
+    if (opDepth++ > 0) return;
+    opOpen = true;
+    opReads = 0;
+  }
+
+  void endOp() {
+    if (opDepth > 0 && --opDepth > 0) return;
+    if (!opOpen) return;
+    opOpen = false;
+    ++ops;
+    totalOpReads += opReads;
+    maxOpReads = std::max(maxOpReads, opReads);
+  }
+
+  void onRead() {
+    ++reads;
+    if (opOpen) ++opReads;
+  }
+
+  void onUread() {
+    ++ureads;
+    // Unit loads are deliberately *not* counted as transactional reads in
+    // the operation bracket: Table 1 counts reads that incur TM bookkeeping.
+  }
+
+  void reset() { *this = ThreadStats{}; }
+
+  ThreadStats& operator+=(const ThreadStats& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    reads += o.reads;
+    ureads += o.ureads;
+    writes += o.writes;
+    elasticCuts += o.elasticCuts;
+    snapshotExtensions += o.snapshotExtensions;
+    ops += o.ops;
+    totalOpReads += o.totalOpReads;
+    maxOpReads = std::max(maxOpReads, o.maxOpReads);
+    return *this;
+  }
+
+  double abortRatio() const {
+    const double attempts = static_cast<double>(commits + aborts);
+    return attempts == 0.0 ? 0.0 : static_cast<double>(aborts) / attempts;
+  }
+
+  double meanOpReads() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(totalOpReads) / static_cast<double>(ops);
+  }
+};
+
+}  // namespace sftree::stm

@@ -1,0 +1,63 @@
+// Public STM interface.
+//
+//   stm::atomically([](stm::Tx& tx) { ... });                 // normal
+//   stm::atomically(stm::TxKind::Elastic, [](stm::Tx& tx) {}); // elastic
+//
+// Transactions retry automatically on conflict with randomized exponential
+// backoff. Nested atomically() calls are flattened into the enclosing
+// transaction (flat nesting), which is what makes composed operations such
+// as the tree `move` (paper §5.4) atomic and deadlock-free.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "stm/config.hpp"
+#include "stm/field.hpp"
+#include "stm/runtime.hpp"
+#include "stm/stats.hpp"
+#include "stm/tx.hpp"
+
+namespace sftree::stm {
+
+template <typename F>
+auto atomically(TxKind kind, F&& fn) -> std::invoke_result_t<F&, Tx&> {
+  using R = std::invoke_result_t<F&, Tx&>;
+  Tx& tx = detail::context().acquire();
+  if (tx.active()) {
+    // Flat nesting: run inline as part of the enclosing transaction. An
+    // abort unwinds to the outermost retry loop.
+    return fn(tx);
+  }
+  for (;;) {
+    tx.begin(kind);
+    try {
+      if constexpr (std::is_void_v<R>) {
+        fn(tx);
+        tx.commit();
+        tx.resetAttempts();
+        return;
+      } else {
+        R result = fn(tx);
+        tx.commit();
+        tx.resetAttempts();
+        return result;
+      }
+    } catch (TxAbort&) {
+      tx.onAbort();
+      detail::backoff(tx);
+    } catch (...) {
+      // A user exception aborts the transaction (speculative state is
+      // rolled back, locks released, allocations freed) and propagates.
+      tx.onAbort();
+      throw;
+    }
+  }
+}
+
+template <typename F>
+auto atomically(F&& fn) -> std::invoke_result_t<F&, Tx&> {
+  return atomically(TxKind::Normal, std::forward<F>(fn));
+}
+
+}  // namespace sftree::stm

@@ -1,0 +1,473 @@
+#include "stm/tx.hpp"
+
+#include <atomic>
+#include <cassert>
+
+#include "stm/runtime.hpp"
+
+namespace sftree::stm {
+
+namespace {
+
+inline Word atomicLoadWord(const Word* addr) {
+  return std::atomic_ref<Word>(*const_cast<Word*>(addr))
+      .load(std::memory_order_relaxed);
+}
+
+inline void atomicStoreWord(Word* addr, Word value) {
+  // Release so that a non-transactional acquire load of (say) a freshly
+  // published node pointer also observes the node's initialization — the
+  // maintenance thread's traversal relies on this.
+  std::atomic_ref<Word>(*addr).store(value, std::memory_order_release);
+}
+
+inline std::uint64_t addressSignature(const void* addr) {
+  auto a = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+  a *= 0x9E3779B97F4A7C15ULL;
+  return std::uint64_t{1} << (a >> 58);
+}
+
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
+Tx::Tx(Runtime& rt) : rt_(rt) {
+  readSet_.reserve(256);
+  writeSet_.reserve(64);
+  window_.reserve(rt.config().elasticWindow);
+}
+
+Tx::~Tx() = default;
+
+void Tx::begin(TxKind kind) {
+  assert(!active_ && "flat nesting is handled by stm::atomically");
+  kind_ = kind;
+  active_ = true;
+  backend_ = rt_.config().backend;
+  if (backend_ == TmBackend::NOrec) {
+    // NOrec has no per-location metadata; elastic windows do not apply.
+    elasticPhase_ = false;
+    // Snapshot: wait until no writer holds the global sequence lock.
+    for (;;) {
+      const std::uint64_t s =
+          rt_.norecSeq().load(std::memory_order_acquire);
+      if ((s & 1) == 0) {
+        rv_ = s;
+        break;
+      }
+    }
+  } else {
+    elasticPhase_ = (kind == TxKind::Elastic);
+    rv_ = rt_.clock().now();
+  }
+  readSet_.clear();
+  valueLog_.clear();
+  writeSet_.clear();
+  speculativeAllocs_.clear();
+  commitHooks_.clear();
+  writeSigs_ = 0;
+  window_.clear();
+  windowNext_ = 0;
+  ++attempts_;
+}
+
+[[noreturn]] void Tx::abortSelf() { throw TxAbort{}; }
+
+[[noreturn]] void Tx::restart() { abortSelf(); }
+
+void Tx::onAbort() {
+  releaseHeldLocks(/*restoreOldVersion=*/true, /*newVersion=*/0);
+  for (const AllocEntry& a : speculativeAllocs_) a.deleter(a.ptr);
+  speculativeAllocs_.clear();
+  commitHooks_.clear();
+  ++stats_.aborts;
+  active_ = false;
+}
+
+void Tx::onAbortDelete(void* ptr, void (*deleter)(void*)) {
+  speculativeAllocs_.push_back(AllocEntry{ptr, deleter});
+}
+
+void Tx::onCommit(std::function<void()> hook) {
+  commitHooks_.push_back(std::move(hook));
+}
+
+Tx::WriteEntry* Tx::findWrite(const Word* addr) {
+  for (auto it = writeSet_.rbegin(); it != writeSet_.rend(); ++it) {
+    if (it->addr == addr) return &*it;
+  }
+  return nullptr;
+}
+
+Tx::WriteEntry* Tx::findWriteByOrec(const std::atomic<OrecWord>* orec) {
+  for (auto& we : writeSet_) {
+    if (we.orec == orec && we.locked) return &we;
+  }
+  // Fall back to any entry on this orec (it records the right prevVersion
+  // even when another entry holds the lock).
+  for (auto& we : writeSet_) {
+    if (we.orec == orec) return &we;
+  }
+  return nullptr;
+}
+
+Tx::SampledWord Tx::sampleCommitted(const Word* addr,
+                                    std::atomic<OrecWord>* orec,
+                                    bool spinOnLock) {
+  for (;;) {
+    OrecWord v1 = orec->load(std::memory_order_acquire);
+    if (orec::isLocked(v1)) {
+      if (orec::owner(v1) == this) {
+        // We hold the lock (eager mode). Memory still has the committed
+        // value because writes are buffered until commit.
+        WriteEntry* we = findWriteByOrec(orec);
+        return {atomicLoadWord(addr), we ? we->prevVersion : rv_};
+      }
+      if (spinOnLock) {
+        cpuRelax();
+        continue;
+      }
+      abortSelf();
+    }
+    Word value = atomicLoadWord(addr);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    OrecWord v2 = orec->load(std::memory_order_relaxed);
+    if (v1 == v2) return {value, orec::version(v1)};
+    // A commit slipped in between; retry the sandwich.
+  }
+}
+
+Word Tx::read(const Word* addr) {
+  assert(active_);
+  if ((writeSigs_ & addressSignature(addr)) != 0) {
+    if (WriteEntry* we = findWrite(addr)) {
+      stats_.onRead();
+      return we->value;
+    }
+  }
+  if (backend_ == TmBackend::NOrec) return norecRead(addr);
+  std::atomic<OrecWord>* orec = rt_.orecs().forAddress(addr);
+
+  if (elasticPhase_) {
+    // Hand-over-hand: the new read must be consistent with the (at most
+    // `elasticWindow`) most recent reads; anything older was cut.
+    SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/false);
+    elasticValidateWindow();
+    elasticRecord(orec, s.version);
+    if (s.version > rv_) rv_ = s.version;
+    stats_.onRead();
+    return s.value;
+  }
+
+  for (;;) {
+    SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/false);
+    if (s.version > rv_) {
+      // The location is newer than our snapshot: try to slide the snapshot
+      // forward (lazy snapshot extension) and re-sample.
+      extendSnapshot();
+      continue;
+    }
+    readSet_.push_back(ReadEntry{orec, s.version});
+    stats_.onRead();
+    return s.value;
+  }
+}
+
+Word Tx::uread(const Word* addr) {
+  assert(active_);
+  if ((writeSigs_ & addressSignature(addr)) != 0) {
+    if (WriteEntry* we = findWrite(addr)) {
+      stats_.onUread();
+      return we->value;
+    }
+  }
+  if (backend_ == TmBackend::NOrec) return norecUread(addr);
+  std::atomic<OrecWord>* orec = rt_.orecs().forAddress(addr);
+  SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/true);
+  stats_.onUread();
+  return s.value;
+}
+
+void Tx::write(Word* addr, Word value) {
+  assert(active_);
+  ++stats_.writes;
+  if (elasticPhase_) {
+    // First write: the elastic transaction becomes a normal one; the reads
+    // still in the window must now stay valid until commit.
+    foldElasticWindowIntoReadSet();
+    elasticPhase_ = false;
+  }
+  if ((writeSigs_ & addressSignature(addr)) != 0) {
+    if (WriteEntry* we = findWrite(addr)) {
+      we->value = value;
+      return;
+    }
+  }
+  WriteEntry we{addr, value, rt_.orecs().forAddress(addr), /*prevVersion=*/0,
+                /*locked=*/false};
+  if (backend_ == TmBackend::Orec &&
+      rt_.config().lockMode == LockMode::Eager) {
+    acquireOrecForWrite(we);
+  }
+  writeSet_.push_back(we);
+  writeSigs_ |= addressSignature(addr);
+}
+
+void Tx::acquireOrecForWrite(WriteEntry& we) {
+  for (;;) {
+    OrecWord cur = we.orec->load(std::memory_order_acquire);
+    if (orec::isLocked(cur)) {
+      if (orec::owner(cur) == this) {
+        // Another write entry of ours already owns this orec stripe.
+        WriteEntry* holder = findWriteByOrec(we.orec);
+        we.prevVersion = holder ? holder->prevVersion : rv_;
+        we.locked = false;
+        return;
+      }
+      abortSelf();
+    }
+    if (orec::version(cur) > rv_) {
+      // Keep the snapshot consistent so read-after-write on this stripe is
+      // safe; extension aborts us if the read set is stale.
+      extendSnapshot();
+      continue;
+    }
+    if (we.orec->compare_exchange_weak(cur, orec::makeLocked(this),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      we.prevVersion = orec::version(cur);
+      we.locked = true;
+      return;
+    }
+  }
+}
+
+bool Tx::validateEntry(const ReadEntry& e) const {
+  OrecWord cur = e.orec->load(std::memory_order_acquire);
+  if (orec::isLocked(cur)) {
+    if (orec::owner(cur) != this) return false;
+    const WriteEntry* we = const_cast<Tx*>(this)->findWriteByOrec(e.orec);
+    return we != nullptr && we->prevVersion == e.version;
+  }
+  return orec::version(cur) == e.version;
+}
+
+bool Tx::validateReadSet() const {
+  for (const ReadEntry& e : readSet_) {
+    if (!validateEntry(e)) return false;
+  }
+  for (const ReadEntry& e : window_) {
+    if (!validateEntry(e)) return false;
+  }
+  return true;
+}
+
+void Tx::extendSnapshot() {
+  const std::uint64_t now = rt_.clock().now();
+  if (!validateReadSet()) abortSelf();
+  rv_ = now;
+  ++stats_.snapshotExtensions;
+}
+
+void Tx::elasticRecord(std::atomic<OrecWord>* orec, std::uint64_t version) {
+  const std::size_t cap = rt_.config().elasticWindow;
+  if (window_.size() < cap) {
+    window_.push_back(ReadEntry{orec, version});
+    return;
+  }
+  // Overwrite the oldest entry: this is the "cut" — the evicted read is no
+  // longer part of the transaction's consistency obligation.
+  window_[windowNext_] = ReadEntry{orec, version};
+  windowNext_ = (windowNext_ + 1) % cap;
+  ++stats_.elasticCuts;
+}
+
+void Tx::elasticValidateWindow() {
+  for (const ReadEntry& e : window_) {
+    if (!validateEntry(e)) abortSelf();
+  }
+}
+
+void Tx::foldElasticWindowIntoReadSet() {
+  for (const ReadEntry& e : window_) readSet_.push_back(e);
+  window_.clear();
+  windowNext_ = 0;
+}
+
+void Tx::releaseHeldLocks(bool restoreOldVersion, std::uint64_t newVersion) {
+  for (auto& we : writeSet_) {
+    if (!we.locked) continue;
+    const OrecWord out = restoreOldVersion ? orec::makeVersion(we.prevVersion)
+                                           : orec::makeVersion(newVersion);
+    we.orec->store(out, std::memory_order_release);
+    we.locked = false;
+  }
+}
+
+void Tx::commit() {
+  assert(active_);
+  if (backend_ == TmBackend::NOrec) {
+    norecCommit();
+    return;
+  }
+  if (writeSet_.empty()) {
+    // Read-only: every read was validated against the snapshot (normal) or
+    // hand-over-hand (elastic); nothing to publish.
+    speculativeAllocs_.clear();  // committed: caller keeps ownership
+    ++stats_.commits;
+    active_ = false;
+    runCommitHooks();
+    return;
+  }
+
+  if (rt_.config().lockMode == LockMode::Lazy) {
+    // Commit-time locking: acquire every write orec now.
+    for (std::size_t i = 0; i < writeSet_.size(); ++i) {
+      WriteEntry& we = writeSet_[i];
+      bool alreadyHeld = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (writeSet_[j].orec == we.orec) {
+          we.prevVersion = writeSet_[j].prevVersion;
+          alreadyHeld = true;
+          break;
+        }
+      }
+      if (alreadyHeld) continue;
+      for (;;) {
+        OrecWord cur = we.orec->load(std::memory_order_acquire);
+        if (orec::isLocked(cur)) {
+          // Owned by someone else (self-ownership is impossible here: all
+          // our locks come from earlier iterations, which are deduplicated
+          // above). Abort and retry with backoff.
+          abortSelf();
+        }
+        if (orec::version(cur) > rv_) {
+          extendSnapshot();
+          continue;
+        }
+        if (we.orec->compare_exchange_weak(cur, orec::makeLocked(this),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+          we.prevVersion = orec::version(cur);
+          we.locked = true;
+          break;
+        }
+      }
+    }
+  }
+
+  const std::uint64_t wv = rt_.clock().tick();
+  if (rv_ + 1 != wv) {
+    // Someone committed since our snapshot; the read set must still hold.
+    if (!validateReadSet()) abortSelf();
+  }
+  for (const WriteEntry& we : writeSet_) {
+    atomicStoreWord(we.addr, we.value);
+  }
+  releaseHeldLocks(/*restoreOldVersion=*/false, wv);
+  speculativeAllocs_.clear();  // published: ownership transferred
+  ++stats_.commits;
+  active_ = false;
+  runCommitHooks();
+}
+
+// --- NOrec backend (Dalessandro, Spear, Scott — PPoPP 2010) ----------------
+// One global sequence lock; reads log (address, value) pairs and revalidate
+// by re-reading whenever the sequence number moves; writers publish under
+// the lock. No per-location metadata at all.
+
+Word Tx::norecRead(const Word* addr) {
+  for (;;) {
+    const Word value = atomicLoadWord(addr);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rt_.norecSeq().load(std::memory_order_acquire) == rv_) {
+      valueLog_.push_back(ValueEntry{addr, value});
+      stats_.onRead();
+      return value;
+    }
+    // A writer committed since our snapshot: revalidate and re-sample.
+    rv_ = norecValidate();
+  }
+}
+
+Word Tx::norecUread(const Word* addr) {
+  // A unit load only needs a committed value of this single word: sample
+  // the sequence lock around the load.
+  for (;;) {
+    const std::uint64_t s1 = rt_.norecSeq().load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) {
+      cpuRelax();
+      continue;
+    }
+    const Word value = atomicLoadWord(addr);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rt_.norecSeq().load(std::memory_order_relaxed) == s1) {
+      stats_.onUread();
+      return value;
+    }
+  }
+}
+
+std::uint64_t Tx::norecValidate() {
+  for (;;) {
+    const std::uint64_t s = rt_.norecSeq().load(std::memory_order_acquire);
+    if ((s & 1) != 0) {
+      cpuRelax();
+      continue;
+    }
+    bool ok = true;
+    for (const ValueEntry& e : valueLog_) {
+      if (atomicLoadWord(e.addr) != e.value) {
+        ok = false;
+        break;
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rt_.norecSeq().load(std::memory_order_relaxed) != s) continue;
+    if (!ok) abortSelf();
+    return s;
+  }
+}
+
+void Tx::norecCommit() {
+  if (writeSet_.empty()) {
+    // Read-only transactions are always consistent at their last
+    // validation point.
+    speculativeAllocs_.clear();
+    ++stats_.commits;
+    active_ = false;
+    runCommitHooks();
+    return;
+  }
+  std::uint64_t s = rv_;
+  while (!rt_.norecSeq().compare_exchange_weak(
+      s, s + 1, std::memory_order_acq_rel, std::memory_order_relaxed)) {
+    s = norecValidate();  // aborts on value mismatch
+    rv_ = s;
+  }
+  // Global lock held: publish.
+  for (const WriteEntry& we : writeSet_) {
+    atomicStoreWord(we.addr, we.value);
+  }
+  rt_.norecSeq().store(s + 2, std::memory_order_release);
+  speculativeAllocs_.clear();
+  ++stats_.commits;
+  active_ = false;
+  runCommitHooks();
+}
+
+void Tx::runCommitHooks() {
+  if (commitHooks_.empty()) return;
+  // Steal the hooks first: a hook may start a new transaction.
+  std::vector<std::function<void()>> hooks;
+  hooks.swap(commitHooks_);
+  for (auto& h : hooks) h();
+}
+
+}  // namespace sftree::stm

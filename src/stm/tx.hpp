@@ -1,0 +1,178 @@
+// Transaction descriptor: read/write sets, speculative loads and stores,
+// commit and abort.
+//
+// The algorithm is a word-based, lazy-snapshot STM in the TL2/TinySTM
+// family:
+//   * a transaction records its begin snapshot `rv` from the global clock;
+//   * every transactional read double-checks the orec around the data load
+//     and, when the location is newer than `rv`, tries to *extend* the
+//     snapshot by revalidating the read set against the current clock;
+//   * writes are buffered (write-back) in both lock modes; Lazy (CTL) locks
+//     orecs at commit, Eager (ETL) locks them at the first write;
+//   * commit increments the clock, validates the read set (unless the
+//     transaction saw the immediately preceding timestamp), writes back and
+//     releases the orecs with the new version.
+//
+// Unit loads (`uread`) return the latest committed value without any read
+// set bookkeeping; elastic transactions keep a sliding window of the most
+// recent reads instead of the full read set until their first write.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stm/clock.hpp"
+#include "stm/config.hpp"
+#include "stm/orec.hpp"
+#include "stm/stats.hpp"
+#include "stm/word.hpp"
+
+namespace sftree::stm {
+
+class Runtime;
+
+// Thrown by the STM to roll back a speculative execution; caught only by the
+// retry loop in stm::atomically. User code must never swallow it.
+struct TxAbort {};
+
+class alignas(64) Tx {
+ public:
+  explicit Tx(Runtime& rt);
+  ~Tx();
+
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  // --- lifecycle (called by stm::atomically) -------------------------------
+  void begin(TxKind kind);
+  void commit();
+  // Releases any held locks, bumps stats, prepares for retry. Does not throw.
+  void onAbort();
+  bool active() const { return active_; }
+  TxKind kind() const { return kind_; }
+  std::uint32_t attempts() const { return attempts_; }
+  void resetAttempts() { attempts_ = 0; }
+
+  // --- speculative accesses -------------------------------------------------
+  // Transactional read: recorded and validated; opacity preserved.
+  Word read(const Word* addr);
+  // Transactional write (buffered).
+  void write(Word* addr, Word value);
+  // Unit load: latest committed value, no read-set entry (TinySTM unit
+  // loads; the paper's `uread`). Spins while the location is being
+  // committed by another transaction.
+  Word uread(const Word* addr);
+
+  // Aborts the current speculation and retries from the top.
+  [[noreturn]] void restart();
+
+  // Registers memory allocated speculatively inside this transaction: if the
+  // current attempt aborts, `deleter(ptr)` runs; if it commits, ownership
+  // has been published and the hook is dropped (TinySTM's stm_malloc
+  // equivalent — prevents leaks across retries).
+  void onAbortDelete(void* ptr, void (*deleter)(void*));
+
+  // Registers an action to run after this transaction commits; dropped if
+  // the attempt aborts (TinySTM's stm_free equivalent: defer side effects —
+  // typically retiring an unlinked node — until the unlink is durable).
+  // Composes correctly with flat nesting: hooks registered by nested
+  // operations run only when the outermost transaction commits.
+  void onCommit(std::function<void()> hook);
+
+  ThreadStats& stats() { return stats_; }
+  const ThreadStats& stats() const { return stats_; }
+
+  Runtime& runtime() { return rt_; }
+
+ private:
+  struct ReadEntry {
+    std::atomic<OrecWord>* orec;
+    std::uint64_t version;
+  };
+  // NOrec value log entry: validation re-reads the address and compares.
+  struct ValueEntry {
+    const Word* addr;
+    Word value;
+  };
+  struct WriteEntry {
+    Word* addr;
+    Word value;
+    std::atomic<OrecWord>* orec;
+    std::uint64_t prevVersion;  // version observed when the orec was locked
+    bool locked;                // this entry holds the orec lock
+  };
+
+  // Consistent (orec-sandwiched) load of a committed value. Returns the
+  // value and the orec version it was valid at. Spins across concurrent
+  // commits; aborts on encountering a lock held by another transaction when
+  // `spinOnLock` is false.
+  struct SampledWord {
+    Word value;
+    std::uint64_t version;
+  };
+  SampledWord sampleCommitted(const Word* addr, std::atomic<OrecWord>* orec,
+                              bool spinOnLock);
+
+  WriteEntry* findWrite(const Word* addr);
+  WriteEntry* findWriteByOrec(const std::atomic<OrecWord>* orec);
+
+  // Validates every read-set (and elastic-window) entry: each orec is either
+  // at the recorded version, or locked by this very transaction having been
+  // locked at the recorded version.
+  bool validateReadSet() const;
+  bool validateEntry(const ReadEntry& e) const;
+
+  // Attempts to advance rv to the current clock; aborts the caller on
+  // failure (returns only on success).
+  void extendSnapshot();
+
+  // Elastic helpers.
+  void elasticRecord(std::atomic<OrecWord>* orec, std::uint64_t version);
+  void elasticValidateWindow();
+  void foldElasticWindowIntoReadSet();
+
+  void acquireOrecForWrite(WriteEntry& we);
+  void releaseHeldLocks(bool restoreOldVersion, std::uint64_t newVersion);
+  void runCommitHooks();
+
+  // --- NOrec backend ---------------------------------------------------------
+  Word norecRead(const Word* addr);
+  Word norecUread(const Word* addr);
+  // Waits for the global sequence lock to be free, re-reads the value log;
+  // aborts on mismatch, else returns the new consistent snapshot.
+  std::uint64_t norecValidate();
+  void norecCommit();
+
+  [[noreturn]] void abortSelf();
+
+  Runtime& rt_;
+  TxKind kind_ = TxKind::Normal;
+  bool active_ = false;
+  bool elasticPhase_ = false;  // true while elastic and write-free
+  std::uint64_t rv_ = 0;       // snapshot (read version)
+  std::uint32_t attempts_ = 0;
+
+  struct AllocEntry {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  std::vector<ReadEntry> readSet_;
+  std::vector<WriteEntry> writeSet_;
+  std::vector<ValueEntry> valueLog_;  // NOrec backend only
+  std::vector<AllocEntry> speculativeAllocs_;
+  std::vector<std::function<void()>> commitHooks_;
+  std::uint64_t writeSigs_ = 0;  // bloom signature over write addresses
+  TmBackend backend_ = TmBackend::Orec;  // latched at begin()
+
+  // Elastic sliding window (size config.elasticWindow, kept tiny).
+  std::vector<ReadEntry> window_;
+  std::size_t windowNext_ = 0;
+
+  ThreadStats stats_;
+
+  friend class Runtime;
+};
+
+}  // namespace sftree::stm

@@ -1,0 +1,54 @@
+// Word-level type plumbing for the software transactional memory.
+//
+// The STM operates on machine words (uintptr_t). Every shared field that a
+// transaction may access must be exactly one word wide and word-aligned;
+// RawCodec converts the user-visible field types (integers, pointers, bools,
+// enums) to and from that representation.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace sftree::stm {
+
+using Word = std::uintptr_t;
+
+static_assert(sizeof(Word) == 8, "the STM assumes a 64-bit platform");
+
+// Converts T <-> Word. Only word-sized-or-smaller trivially copyable types
+// are supported; wider payloads must be boxed behind a pointer.
+template <typename T>
+struct RawCodec {
+  static_assert(sizeof(T) <= sizeof(Word),
+                "transactional fields must fit in one machine word");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "transactional fields must be trivially copyable");
+
+  static Word encode(T value) {
+    if constexpr (std::is_pointer_v<T>) {
+      return reinterpret_cast<Word>(value);
+    } else if constexpr (std::is_enum_v<T>) {
+      return static_cast<Word>(static_cast<std::underlying_type_t<T>>(value));
+    } else if constexpr (std::is_integral_v<T>) {
+      // Sign-extends through the unsigned conversion and back symmetrically.
+      return static_cast<Word>(value);
+    } else {
+      static_assert(std::is_pointer_v<T> || std::is_enum_v<T> ||
+                        std::is_integral_v<T>,
+                    "unsupported transactional field type");
+      return 0;
+    }
+  }
+
+  static T decode(Word raw) {
+    if constexpr (std::is_pointer_v<T>) {
+      return reinterpret_cast<T>(raw);
+    } else if constexpr (std::is_enum_v<T>) {
+      return static_cast<T>(static_cast<std::underlying_type_t<T>>(raw));
+    } else {
+      return static_cast<T>(raw);
+    }
+  }
+};
+
+}  // namespace sftree::stm

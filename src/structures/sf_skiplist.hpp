@@ -1,0 +1,110 @@
+// A speculation-friendly skip list — the paper's future-work direction
+// ("the next challenge is to adapt this technique to a large body of data
+// structures to derive a speculation-friendly library", §7) applied to the
+// second structure synchrobench ships.
+//
+// Skip lists are probabilistically balanced, so only the *deletion*
+// decoupling of §3.2 applies: erase() flips a logical-deletion flag in a
+// tiny transaction; a background maintenance thread physically unlinks
+// deleted towers in node-local transactions and reclaims them through the
+// same §3.4 quiescence protocol as the tree.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gc/limbo_list.hpp"
+#include "gc/thread_registry.hpp"
+#include "stm/stm.hpp"
+#include "trees/key.hpp"
+
+namespace sftree::structures {
+
+struct SkipListConfig {
+  bool startMaintenance = true;
+  std::chrono::microseconds idlePause{100};
+};
+
+class SFSkipList {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  struct Node {
+    const sftree::Key key;
+    stm::TxField<sftree::Value> value;
+    stm::TxField<bool> deleted;  // logical deletion (abstract transaction)
+    stm::TxField<bool> removed;  // physically unlinked (maintenance)
+    const int level;             // tower height, 1..kMaxLevel
+    stm::TxField<Node*> next[kMaxLevel];
+
+    Node(sftree::Key k, sftree::Value v, int lvl)
+        : key(k), value(v), level(lvl) {}
+  };
+
+  using Config = SkipListConfig;
+
+  explicit SFSkipList(Config cfg = {});
+  ~SFSkipList();
+
+  SFSkipList(const SFSkipList&) = delete;
+  SFSkipList& operator=(const SFSkipList&) = delete;
+
+  // --- abstract operations (thread-safe, transactional, composable) --------
+  bool insert(sftree::Key k, sftree::Value v);
+  bool erase(sftree::Key k);
+  bool contains(sftree::Key k);
+  std::optional<sftree::Value> get(sftree::Key k);
+
+  bool insertTx(stm::Tx& tx, sftree::Key k, sftree::Value v);
+  bool eraseTx(stm::Tx& tx, sftree::Key k);
+  bool containsTx(stm::Tx& tx, sftree::Key k);
+  std::optional<sftree::Value> getTx(stm::Tx& tx, sftree::Key k);
+
+  // --- maintenance -----------------------------------------------------------
+  void startMaintenance();
+  void stopMaintenance();
+  bool maintenanceRunning() const { return maintenanceThread_.joinable(); }
+  // Runs unlink passes on the calling thread until nothing changes
+  // (maintenance thread must be stopped).
+  int quiesceNow(int maxPasses = 100);
+
+  std::uint64_t unlinksForTest() const {
+    return unlinks_.load(std::memory_order_relaxed);
+  }
+  std::size_t limboPending() const { return limbo_.pending(); }
+
+  // --- quiesced introspection ------------------------------------------------
+  std::size_t abstractSize();    // non-deleted reachable keys
+  std::size_t structuralSize();  // reachable towers
+  std::vector<sftree::Key> keysInOrder();
+
+ private:
+  // Fills preds/succs per level for key k; returns the node with key k
+  // (still linked at level 0) or nullptr.
+  Node* findTx(stm::Tx& tx, sftree::Key k, Node* preds[kMaxLevel],
+               Node* succs[kMaxLevel]) const;
+
+  int randomLevel();
+  bool tryUnlink(Node* node);
+  void maintenanceLoop();
+  bool maintenancePass();
+
+  static void deleteNode(void* p) { delete static_cast<Node*>(p); }
+
+  Node* head_;  // sentinel tower of full height, key = min
+  std::atomic<std::uint64_t> rngState_{0x853C49E6748FEA9BULL};
+  std::atomic<std::uint64_t> unlinks_{0};
+
+  Config cfg_;
+  gc::ThreadRegistry registry_;
+  gc::LimboList limbo_;
+  std::thread maintenanceThread_;
+  std::atomic<bool> stopFlag_{false};
+};
+
+}  // namespace sftree::structures

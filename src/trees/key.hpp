@@ -1,0 +1,18 @@
+// Key/value domain shared by all tree implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sftree {
+
+using Key = std::int64_t;
+using Value = std::int64_t;
+
+// The speculation-friendly tree is rooted at a sentinel node with key +inf
+// so that every user key lives in the root's left subtree (paper §4: "It is
+// created with a root node with key ∞ ... This node will always be the
+// root"). User keys must be strictly smaller.
+inline constexpr Key kInfiniteKey = std::numeric_limits<Key>::max();
+
+}  // namespace sftree

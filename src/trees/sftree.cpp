@@ -1,0 +1,652 @@
+#include "trees/sftree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <stack>
+
+namespace sftree::trees {
+
+namespace {
+
+// Defensive liveness valve: the optimized find can in principle chase
+// escape pointers through a churning region for a long time; force a retry
+// (fresh snapshot, backoff) if a traversal runs away.
+constexpr int kFindStepLimit = 1'000'000;
+
+// Maintenance recursion bound (tree height); transiently unbalanced trees
+// are at worst linear in size, which fits comfortably.
+constexpr int kMaintenanceDepthLimit = 1 << 20;
+
+}  // namespace
+
+SFTree::SFTree(SFTreeConfig cfg) : cfg_(cfg) {
+  root_ = new SFNode(kInfiniteKey, 0);
+  if (cfg_.startMaintenance && (cfg_.rotations || cfg_.removals)) {
+    startMaintenance();
+  }
+}
+
+SFTree::~SFTree() {
+  stopMaintenance();
+  // Free the reachable tree. Retired (unlinked) nodes are owned by the
+  // limbo list, whose destructor frees them; reachable nodes form a proper
+  // binary tree (only NotRemoved nodes are reachable from the root).
+  std::stack<SFNode*> stack;
+  stack.push(root_);
+  while (!stack.empty()) {
+    SFNode* n = stack.top();
+    stack.pop();
+    if (SFNode* l = n->left.loadRelaxed()) stack.push(l);
+    if (SFNode* r = n->right.loadRelaxed()) stack.push(r);
+    delete n;
+  }
+}
+
+// --------------------------------------------------------------------------
+// find — Algorithm 1 (portable): plain traversal, every child pointer is a
+// transactional read, so any concurrent restructuring along the path is
+// caught by validation.
+// --------------------------------------------------------------------------
+SFNode* SFTree::findPortable(stm::Tx& tx, Key k) const {
+  SFNode* next = root_;
+  SFNode* curr;
+  for (;;) {
+    curr = next;
+    if (curr->key == k) break;
+    next = (k < curr->key) ? curr->left.read(tx) : curr->right.read(tx);
+    if (next == nullptr) break;
+  }
+  return curr;
+}
+
+// --------------------------------------------------------------------------
+// find — Algorithm 2 (optimized): the traversal uses unit loads; only the
+// final node's `removed` flag, its (null) child pointer, and the parent's
+// link to it are read transactionally, pinning exactly the position the
+// caller depends on. Traversals may walk across removed nodes: removal and
+// copy-on-rotate leave escape pointers that always lead back into the tree
+// (Lemmas 11-16).
+// --------------------------------------------------------------------------
+SFNode* SFTree::findOptimized(stm::Tx& tx, Key k) const {
+  SFNode* parent = root_;
+  SFNode* curr = root_;
+  SFNode* next = root_;
+  int steps = 0;
+  for (;;) {
+    // Inner descent.
+    for (;;) {
+      if (++steps > kFindStepLimit) tx.restart();
+      parent = curr;
+      curr = next;
+      if (curr->key == k) {
+        const RemState rem = curr->removed.read(tx);
+        if (rem == RemState::NotRemoved) break;  // candidate found
+        // The node with our key was physically removed. If it was removed
+        // by a left rotation its replacement is in the right subtree
+        // (paper line 39); in every other case the left pointer leads to a
+        // node whose range still covers k (Lemma 16).
+        next = (rem == RemState::RemovedByLeftRot) ? curr->right.uread(tx)
+                                                   : curr->left.uread(tx);
+        if (next == nullptr) {
+          next = (rem == RemState::RemovedByLeftRot) ? curr->left.uread(tx)
+                                                     : curr->right.uread(tx);
+        }
+        if (next == nullptr) tx.restart();  // cannot happen on a valid tree
+        continue;
+      }
+      const bool goLeft = k < curr->key;
+      next = goLeft ? curr->left.uread(tx) : curr->right.uread(tx);
+      if (next != nullptr) continue;
+      // Reached a null child. Pin it if the node is still in the tree.
+      const RemState rem = curr->removed.read(tx);
+      if (rem == RemState::NotRemoved) {
+        next = goLeft ? curr->left.read(tx) : curr->right.read(tx);
+        if (next == nullptr) break;  // curr is the insertion point for k
+        continue;                    // a child appeared meanwhile
+      }
+      // Removed node with a null child: escape through the other child,
+      // whose range is at least as large as ours was (Lemma 16).
+      next = goLeft ? curr->right.uread(tx) : curr->left.uread(tx);
+      if (next == nullptr) tx.restart();  // cannot happen on a valid tree
+    }
+    // Validate the parent's link to the candidate with a transactional
+    // read: this both confirms the position and makes any concurrent
+    // rotation/removal at this node a detectable conflict.
+    if (curr == parent) return curr;  // candidate is the root sentinel
+    SFNode* tmp = (curr->key < parent->key) ? parent->left.read(tx)
+                                            : parent->right.read(tx);
+    if (tmp == curr) return curr;
+    // The link changed: re-examine the candidate starting from the parent.
+    next = curr;
+    curr = parent;
+  }
+}
+
+SFNode* SFTree::find(stm::Tx& tx, Key k) const {
+  return cfg_.ops == OpsVariant::Portable ? findPortable(tx, k)
+                                          : findOptimized(tx, k);
+}
+
+// --------------------------------------------------------------------------
+// Abstract operations
+// --------------------------------------------------------------------------
+bool SFTree::containsTx(stm::Tx& tx, Key k) {
+  gc::OpGuard guard(registry_);
+  SFNode* curr = find(tx, k);
+  if (curr->key != k) return false;
+  return !curr->deleted.read(tx);
+}
+
+std::optional<Value> SFTree::getTx(stm::Tx& tx, Key k) {
+  gc::OpGuard guard(registry_);
+  SFNode* curr = find(tx, k);
+  if (curr->key != k) return std::nullopt;
+  if (curr->deleted.read(tx)) return std::nullopt;
+  return curr->value.read(tx);
+}
+
+bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
+  assert(k < kInfiniteKey && "user keys must be < +inf sentinel");
+  gc::OpGuard guard(registry_);
+  SFNode* curr = find(tx, k);
+  if (curr->key == k) {
+    if (curr->deleted.read(tx)) {
+      // Logically deleted: revive the node (abstraction-only update).
+      curr->deleted.write(tx, false);
+      curr->value.write(tx, v);
+      return true;
+    }
+    return false;
+  }
+  // find() transactionally read the null child pointer, so a concurrent
+  // insert of the same key is a write-write/read-write conflict here.
+  SFNode* nn = new SFNode(k, v);
+  tx.onAbortDelete(nn, &SFTree::deleteNode);
+  if (k < curr->key) {
+    curr->left.write(tx, nn);
+  } else {
+    curr->right.write(tx, nn);
+  }
+  return true;
+}
+
+bool SFTree::eraseTx(stm::Tx& tx, Key k) {
+  gc::OpGuard guard(registry_);
+  SFNode* curr = find(tx, k);
+  if (curr->key != k) return false;
+  if (curr->deleted.read(tx)) return false;
+  // Logical deletion only: the structure is untouched (paper: "this
+  // operation never modifies the tree structure"); the maintenance thread
+  // unlinks the node later.
+  curr->deleted.write(tx, true);
+  return true;
+}
+
+namespace {
+std::size_t countRangeRec(stm::Tx& tx, SFNode* n, Key lo, Key hi) {
+  if (n == nullptr) return 0;
+  std::size_t count = 0;
+  if (lo < n->key) {
+    count += countRangeRec(tx, n->left.read(tx), lo, hi);
+  }
+  if (lo <= n->key && n->key <= hi && !n->deleted.read(tx)) ++count;
+  if (hi > n->key) {
+    count += countRangeRec(tx, n->right.read(tx), lo, hi);
+  }
+  return count;
+}
+}  // namespace
+
+std::size_t SFTree::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
+  gc::OpGuard guard(registry_);
+  // The sentinel's key is +inf, so the user range never includes it.
+  return countRangeRec(tx, root_->left.read(tx), lo, hi);
+}
+
+std::size_t SFTree::countRange(Key lo, Key hi) {
+  auto& st = stm::threadStats();
+  st.beginOp();
+  const auto r = stm::atomically(
+      [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+  st.endOp();
+  return r;
+}
+
+// Elastic cuts are only safe for Algorithm 2's updates (see SFTreeConfig).
+stm::TxKind SFTree::updateTxKind() const {
+  if (cfg_.ops == OpsVariant::Optimized) return cfg_.txKind;
+  return stm::TxKind::Normal;
+}
+
+bool SFTree::insert(Key k, Value v) {
+  auto& st = stm::threadStats();
+  st.beginOp();
+  const bool r = stm::atomically(
+      updateTxKind(), [&](stm::Tx& tx) { return insertTx(tx, k, v); });
+  st.endOp();
+  if (r) sizeEstimate_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+bool SFTree::erase(Key k) {
+  auto& st = stm::threadStats();
+  st.beginOp();
+  const bool r = stm::atomically(updateTxKind(),
+                                 [&](stm::Tx& tx) { return eraseTx(tx, k); });
+  st.endOp();
+  if (r) sizeEstimate_.fetch_sub(1, std::memory_order_relaxed);
+  return r;
+}
+
+bool SFTree::contains(Key k) {
+  auto& st = stm::threadStats();
+  st.beginOp();
+  const bool r = stm::atomically(
+      cfg_.txKind, [&](stm::Tx& tx) { return containsTx(tx, k); });
+  st.endOp();
+  return r;
+}
+
+std::optional<Value> SFTree::get(Key k) {
+  auto& st = stm::threadStats();
+  st.beginOp();
+  const auto r =
+      stm::atomically(cfg_.txKind, [&](stm::Tx& tx) { return getTx(tx, k); });
+  st.endOp();
+  return r;
+}
+
+bool SFTree::move(Key from, Key to) {
+  // Reusability (paper §5.4): compose erase + insert from the public
+  // interface into one atomic, deadlock-free operation via flat nesting.
+  auto& st = stm::threadStats();
+  st.beginOp();
+  const bool r = stm::atomically(updateTxKind(), [&](stm::Tx& tx) {
+    if (containsTx(tx, to)) return false;
+    const std::optional<Value> v = getTx(tx, from);
+    if (!v) return false;
+    eraseTx(tx, from);
+    if (!insertTx(tx, to, *v)) {
+      // Under elastic reads the earlier contains(to) may have been cut from
+      // the validation window; a concurrent insert of `to` then makes this
+      // insert fail. Retrying (which discards the erase) keeps the move
+      // atomic instead of losing the key.
+      tx.restart();
+    }
+    return true;
+  });
+  st.endOp();
+  return r;
+}
+
+// --------------------------------------------------------------------------
+// Structural transactions (maintenance thread only)
+// --------------------------------------------------------------------------
+SFTree::StructuralResult SFTree::rotateRight(stm::Tx& tx, SFNode* parent,
+                                             bool leftChild) {
+  if (cfg_.ops == OpsVariant::Optimized &&
+      parent->removed.read(tx) != RemState::NotRemoved) {
+    return {};
+  }
+  SFNode* n = leftChild ? parent->left.read(tx) : parent->right.read(tx);
+  if (n == nullptr) return {};
+  SFNode* l = n->left.read(tx);
+  if (l == nullptr) return {};
+  SFNode* lr = l->right.read(tx);
+
+  if (cfg_.ops == OpsVariant::Portable) {
+    // Classical in-place rotation (Figure 2(b)) inside one transaction.
+    n->left.write(tx, lr);
+    l->right.write(tx, n);
+    // update-balance-values(): advisory, maintenance-private (a stale value
+    // left by an aborted attempt is refreshed by the next traversal).
+    n->leftH = l->rightH;
+    n->localH = std::max(n->leftH, n->rightH) + 1;
+    l->rightH = n->localH;
+    l->localH = std::max(l->leftH, l->rightH) + 1;
+  } else {
+    // Copy-on-rotate (Figure 2(c)): n is unlinked and replaced by a fresh
+    // copy n' placed under l, so a traversal preempted at n still has a
+    // path to the subtree that held its target.
+    SFNode* r = n->right.read(tx);
+    SFNode* nn = new SFNode(n->key, n->value.read(tx));
+    tx.onAbortDelete(nn, &SFTree::deleteNode);
+    nn->deleted.storeRelaxed(n->deleted.read(tx));
+    nn->left.storeRelaxed(lr);
+    nn->right.storeRelaxed(r);
+    nn->leftH = l->rightH;
+    nn->rightH = n->rightH;
+    nn->localH = std::max(nn->leftH, nn->rightH) + 1;
+    l->right.write(tx, nn);
+    n->removed.write(tx, RemState::Removed);
+    l->rightH = nn->localH;
+    l->localH = std::max(l->leftH, l->rightH) + 1;
+  }
+  if (leftChild) {
+    parent->left.write(tx, l);
+  } else {
+    parent->right.write(tx, l);
+  }
+  return {true, cfg_.ops == OpsVariant::Optimized ? n : nullptr};
+}
+
+SFTree::StructuralResult SFTree::rotateLeft(stm::Tx& tx, SFNode* parent,
+                                            bool leftChild) {
+  if (cfg_.ops == OpsVariant::Optimized &&
+      parent->removed.read(tx) != RemState::NotRemoved) {
+    return {};
+  }
+  SFNode* n = leftChild ? parent->left.read(tx) : parent->right.read(tx);
+  if (n == nullptr) return {};
+  SFNode* r = n->right.read(tx);
+  if (r == nullptr) return {};
+  SFNode* rl = r->left.read(tx);
+
+  if (cfg_.ops == OpsVariant::Portable) {
+    n->right.write(tx, rl);
+    r->left.write(tx, n);
+    n->rightH = r->leftH;
+    n->localH = std::max(n->leftH, n->rightH) + 1;
+    r->leftH = n->localH;
+    r->localH = std::max(r->leftH, r->rightH) + 1;
+  } else {
+    SFNode* l = n->left.read(tx);
+    SFNode* nn = new SFNode(n->key, n->value.read(tx));
+    tx.onAbortDelete(nn, &SFTree::deleteNode);
+    nn->deleted.storeRelaxed(n->deleted.read(tx));
+    nn->left.storeRelaxed(l);
+    nn->right.storeRelaxed(rl);
+    nn->leftH = n->leftH;
+    nn->rightH = r->leftH;
+    nn->localH = std::max(nn->leftH, nn->rightH) + 1;
+    r->left.write(tx, nn);
+    // A node removed by a *left* rotation is replaced by a copy living in
+    // its right subtree; find() must know to go right on a key match.
+    n->removed.write(tx, RemState::RemovedByLeftRot);
+    r->leftH = nn->localH;
+    r->localH = std::max(r->leftH, r->rightH) + 1;
+  }
+  if (leftChild) {
+    parent->left.write(tx, r);
+  } else {
+    parent->right.write(tx, r);
+  }
+  return {true, cfg_.ops == OpsVariant::Optimized ? n : nullptr};
+}
+
+SFTree::StructuralResult SFTree::removePhysical(stm::Tx& tx, SFNode* parent,
+                                                bool leftChild) {
+  if (cfg_.ops == OpsVariant::Optimized &&
+      parent->removed.read(tx) != RemState::NotRemoved) {
+    return {};
+  }
+  SFNode* n = leftChild ? parent->left.read(tx) : parent->right.read(tx);
+  if (n == nullptr) return {};
+  if (!n->deleted.read(tx)) return {};
+  SFNode* l = n->left.read(tx);
+  SFNode* r = n->right.read(tx);
+  if (l != nullptr && r != nullptr) {
+    // Only nodes with at most one child are physically removed (paper:
+    // removing such nodes is enough to keep the tree from growing).
+    return {};
+  }
+  SFNode* child = (l != nullptr) ? l : r;
+  if (leftChild) {
+    parent->left.write(tx, child);
+  } else {
+    parent->right.write(tx, child);
+  }
+  if (cfg_.ops == OpsVariant::Optimized) {
+    // Escape pointers: a traversal preempted on n climbs back to the
+    // parent, which still covers n's key range (Lemma 15).
+    n->left.write(tx, parent);
+    n->right.write(tx, parent);
+    n->removed.write(tx, RemState::Removed);
+  }
+  return {true, n};
+}
+
+bool SFTree::tryRotateRight(SFNode* parent, bool leftChild) {
+  const StructuralResult res = stm::atomically(
+      [&](stm::Tx& tx) { return rotateRight(tx, parent, leftChild); });
+  if (res.unlinked != nullptr) retireNode(res.unlinked);
+  return res.changed;
+}
+
+bool SFTree::tryRotateLeft(SFNode* parent, bool leftChild) {
+  const StructuralResult res = stm::atomically(
+      [&](stm::Tx& tx) { return rotateLeft(tx, parent, leftChild); });
+  if (res.unlinked != nullptr) retireNode(res.unlinked);
+  return res.changed;
+}
+
+bool SFTree::tryRemovePhysical(SFNode* parent, bool leftChild) {
+  const StructuralResult res = stm::atomically(
+      [&](stm::Tx& tx) { return removePhysical(tx, parent, leftChild); });
+  if (res.unlinked != nullptr) retireNode(res.unlinked);
+  return res.changed;
+}
+
+void SFTree::retireNode(SFNode* n) {
+  limbo_.retire(n, &SFTree::deleteNode);
+  std::lock_guard<std::mutex> lk(maintStatsMu_);
+  ++maintStats_.nodesRetired;
+}
+
+// --------------------------------------------------------------------------
+// Maintenance thread (paper §3.1/3.2/3.4): one background thread repeatedly
+// performs a depth-first traversal that propagates balance estimates,
+// rotates unbalanced nodes in node-local transactions, physically removes
+// logically deleted nodes, and garbage-collects retired nodes after
+// quiescence.
+// --------------------------------------------------------------------------
+void SFTree::startMaintenance() {
+  if (maintenanceThread_.joinable()) return;
+  stopFlag_.store(false, std::memory_order_release);
+  maintenanceThread_ = std::thread([this] { maintenanceLoop(); });
+}
+
+void SFTree::stopMaintenance() {
+  if (!maintenanceThread_.joinable()) return;
+  stopFlag_.store(true, std::memory_order_release);
+  maintenanceThread_.join();
+}
+
+void SFTree::maintenanceLoop() {
+  while (!stopFlag_.load(std::memory_order_acquire)) {
+    limbo_.openEpoch(registry_);
+    bool didWork = false;
+    SFNode* top = root_->left.loadAcquire();
+    maintainSubtree(root_, top, /*leftChild=*/true, didWork, 0);
+    limbo_.tryCollect(registry_);
+    {
+      std::lock_guard<std::mutex> lk(maintStatsMu_);
+      ++maintStats_.traversals;
+      maintStats_.nodesFreed = limbo_.freedTotal();
+    }
+    if (cfg_.interPassPause.count() > 0) {
+      std::this_thread::sleep_for(cfg_.interPassPause);
+    }
+    if (!didWork && cfg_.idlePause.count() > 0) {
+      std::this_thread::sleep_for(cfg_.idlePause);
+    }
+  }
+}
+
+int SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
+                            bool& didWork, int depth) {
+  if (node == nullptr) return 0;
+  if (depth > kMaintenanceDepthLimit) return node->localH;
+  if (stopFlag_.load(std::memory_order_relaxed)) return node->localH;
+
+  // Physical removal first: logically deleted nodes with at most one child
+  // are unlinked (the transaction re-checks everything; the flags here are
+  // only hints).
+  if (cfg_.removals && node->deleted.loadAcquire() &&
+      (node->left.loadAcquire() == nullptr ||
+       node->right.loadAcquire() == nullptr)) {
+    if (tryRemovePhysical(parent, leftChild)) {
+      didWork = true;
+      {
+        std::lock_guard<std::mutex> lk(maintStatsMu_);
+        ++maintStats_.removals;
+      }
+      // Continue with whatever took the node's place.
+      SFNode* replacement =
+          leftChild ? parent->left.loadAcquire() : parent->right.loadAcquire();
+      return maintainSubtree(parent, replacement, leftChild, didWork, depth);
+    }
+    std::lock_guard<std::mutex> lk(maintStatsMu_);
+    ++maintStats_.failedStructuralOps;
+  }
+
+  // Depth-first: propagate balance estimates bottom-up (paper §3.1,
+  // "propagation"). These fields are maintenance-private.
+  SFNode* l = node->left.loadAcquire();
+  const int lh = maintainSubtree(node, l, /*leftChild=*/true, didWork,
+                                 depth + 1);
+  SFNode* r = node->right.loadAcquire();
+  const int rh = maintainSubtree(node, r, /*leftChild=*/false, didWork,
+                                 depth + 1);
+  node->leftH = lh;
+  node->rightH = rh;
+  node->localH = std::max(lh, rh) + 1;
+  const int resultH = node->localH;
+
+  if (!cfg_.rotations) return resultH;
+  if (lh - rh > 1) {
+    // Left-heavy. If the left child leans right, first rotate it left so a
+    // single right rotation at `node` balances (two node-local
+    // transactions, as in the paper's distributed rotation).
+    SFNode* child = node->left.loadAcquire();
+    if (child != nullptr && child->rightH > child->leftH) {
+      if (tryRotateLeft(node, /*leftChild=*/true)) {
+        didWork = true;
+        std::lock_guard<std::mutex> lk(maintStatsMu_);
+        ++maintStats_.rotations;
+      }
+      child = node->left.loadAcquire();
+    }
+    // Re-check after the inner rotation: rotating a node the inner step
+    // already balanced would tilt it the other way and oscillate forever.
+    const int freshLh = child != nullptr ? child->localH : 0;
+    if (freshLh - rh > 1) {
+      if (tryRotateRight(parent, leftChild)) {
+        didWork = true;
+        std::lock_guard<std::mutex> lk(maintStatsMu_);
+        ++maintStats_.rotations;
+      } else {
+        std::lock_guard<std::mutex> lk(maintStatsMu_);
+        ++maintStats_.failedStructuralOps;
+      }
+    }
+    // `node` may have been retired by the rotation: report the stale height
+    // and let the next traversal refresh the estimates.
+  } else if (rh - lh > 1) {
+    SFNode* child = node->right.loadAcquire();
+    if (child != nullptr && child->leftH > child->rightH) {
+      if (tryRotateRight(node, /*leftChild=*/false)) {
+        didWork = true;
+        std::lock_guard<std::mutex> lk(maintStatsMu_);
+        ++maintStats_.rotations;
+      }
+      child = node->right.loadAcquire();
+    }
+    const int freshRh = child != nullptr ? child->localH : 0;
+    if (freshRh - lh > 1) {
+      if (tryRotateLeft(parent, leftChild)) {
+        didWork = true;
+        std::lock_guard<std::mutex> lk(maintStatsMu_);
+        ++maintStats_.rotations;
+      } else {
+        std::lock_guard<std::mutex> lk(maintStatsMu_);
+        ++maintStats_.failedStructuralOps;
+      }
+    }
+  }
+  return resultH;
+}
+
+int SFTree::quiesceNow(int maxPasses) {
+  assert(!maintenanceThread_.joinable() &&
+         "stop the maintenance thread before quiescing manually");
+  // stopMaintenance() leaves the flag set; clear it so the manual passes
+  // actually traverse.
+  stopFlag_.store(false, std::memory_order_release);
+  for (int pass = 1; pass <= maxPasses; ++pass) {
+    limbo_.openEpoch(registry_);
+    bool didWork = false;
+    SFNode* top = root_->left.loadAcquire();
+    maintainSubtree(root_, top, /*leftChild=*/true, didWork, 0);
+    limbo_.tryCollect(registry_);
+    {
+      std::lock_guard<std::mutex> lk(maintStatsMu_);
+      ++maintStats_.traversals;
+      maintStats_.nodesFreed = limbo_.freedTotal();
+    }
+    if (!didWork) return pass;
+  }
+  return maxPasses;
+}
+
+MaintenanceStats SFTree::maintenanceStats() const {
+  std::lock_guard<std::mutex> lk(maintStatsMu_);
+  return maintStats_;
+}
+
+// --------------------------------------------------------------------------
+// Quiesced introspection
+// --------------------------------------------------------------------------
+std::size_t SFTree::abstractSize() {
+  std::size_t count = 0;
+  std::stack<SFNode*> stack;
+  if (SFNode* top = root_->left.loadAcquire()) stack.push(top);
+  while (!stack.empty()) {
+    SFNode* n = stack.top();
+    stack.pop();
+    if (!n->deleted.loadAcquire()) ++count;
+    if (SFNode* l = n->left.loadAcquire()) stack.push(l);
+    if (SFNode* r = n->right.loadAcquire()) stack.push(r);
+  }
+  return count;
+}
+
+std::size_t SFTree::structuralSize() {
+  std::size_t count = 0;
+  std::stack<SFNode*> stack;
+  if (SFNode* top = root_->left.loadAcquire()) stack.push(top);
+  while (!stack.empty()) {
+    SFNode* n = stack.top();
+    stack.pop();
+    ++count;
+    if (SFNode* l = n->left.loadAcquire()) stack.push(l);
+    if (SFNode* r = n->right.loadAcquire()) stack.push(r);
+  }
+  return count;
+}
+
+namespace {
+int subtreeHeight(SFNode* n) {
+  if (n == nullptr) return 0;
+  return 1 + std::max(subtreeHeight(n->left.loadAcquire()),
+                      subtreeHeight(n->right.loadAcquire()));
+}
+
+void inorder(SFNode* n, std::vector<Key>& out) {
+  if (n == nullptr) return;
+  inorder(n->left.loadAcquire(), out);
+  if (!n->deleted.loadAcquire()) out.push_back(n->key);
+  inorder(n->right.loadAcquire(), out);
+}
+}  // namespace
+
+int SFTree::height() { return subtreeHeight(root_->left.loadAcquire()); }
+
+std::vector<Key> SFTree::keysInOrder() {
+  std::vector<Key> out;
+  inorder(root_->left.loadAcquire(), out);
+  return out;
+}
+
+}  // namespace sftree::trees

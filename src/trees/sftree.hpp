@@ -1,0 +1,218 @@
+// The speculation-friendly binary search tree (paper §3).
+//
+// Abstract transactions (insert / delete / contains) only touch the
+// abstraction: insertion links a leaf or clears a `deleted` flag; deletion
+// *logically* deletes by setting the flag; contains reads it. All
+// restructuring — local rotations, physical removal of logically deleted
+// nodes, balance propagation and garbage collection — happens in small
+// node-local transactions executed by one background maintenance thread
+// (§3.1, §3.2, §3.4).
+//
+// Two operation variants are provided:
+//  * Portable (Algorithm 1): every shared access is a transactional read or
+//    write; works on any TM that implements the standard interface.
+//  * Optimized (Algorithm 2): traversals use unit loads (`uread`) and nodes
+//    carry a `removed` flag (false / true / true-by-left-rotation); rotation
+//    replaces the rotated node with a fresh copy so that preempted
+//    traversals keep a path to their target.
+//
+// The same class also serves as the paper's *no-restructuring* baseline
+// (NRtree): construct it with maintenance disabled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gc/limbo_list.hpp"
+#include "gc/thread_registry.hpp"
+#include "stm/stm.hpp"
+#include "trees/key.hpp"
+
+namespace sftree::trees {
+
+// Physical-removal state of a node (Algorithm 2). A removed node is no
+// longer reachable from the root but remains traversable: its child pointers
+// lead back into the tree. RemovedByLeftRot tells a find() that stopped on a
+// node with its own key that the replacement node is in the *right* subtree.
+enum class RemState : std::uint8_t {
+  NotRemoved = 0,
+  Removed = 1,
+  RemovedByLeftRot = 2,
+};
+
+struct SFNode {
+  const Key key;
+  stm::TxField<Value> value;
+  stm::TxField<SFNode*> left;
+  stm::TxField<SFNode*> right;
+  stm::TxField<bool> deleted;     // logical deletion flag (paper `del`)
+  stm::TxField<RemState> removed; // physical removal flag (paper `rem`)
+
+  // Balance estimates (paper: left-h / right-h / local-h). Read and written
+  // exclusively by the single maintenance thread — deliberately plain.
+  int leftH = 0;
+  int rightH = 0;
+  int localH = 1;
+
+  SFNode(Key k, Value v) : key(k), value(v) {}
+};
+
+enum class OpsVariant : std::uint8_t {
+  Portable,   // Algorithm 1
+  Optimized,  // Algorithm 2
+};
+
+struct SFTreeConfig {
+  OpsVariant ops = OpsVariant::Optimized;
+  // Transaction kind used by the abstract operations (Normal, or Elastic to
+  // run on the E-STM-equivalent mode). With the Portable ops variant,
+  // Elastic applies to read-only operations only: Algorithm 1's updates
+  // rely on full read-set validation to detect a physically removed
+  // insertion point, which elastic cuts would skip. Algorithm 2's
+  // transactional `removed`/parent-link reads make its updates safe under
+  // elastic cuts, so the Optimized variant runs every operation elastic.
+  stm::TxKind txKind = stm::TxKind::Normal;
+  // Background restructuring. Turning both off yields the paper's
+  // no-restructuring baseline (NRtree): no rotations and no physical
+  // removal ("the no-restructuring tree does not physically remove nodes").
+  bool rotations = true;
+  bool removals = true;
+  bool startMaintenance = true;
+  // Pause between two depth-first maintenance traversals when the previous
+  // one found no work, to avoid burning a core on an idle tree.
+  std::chrono::microseconds idlePause{100};
+  // Pause after *every* traversal. The paper's rotator runs continuously on
+  // a dedicated core; on machines with few cores a small duty-cycle
+  // throttle keeps the rotator from starving the application threads
+  // (used by the vacation tables, which run four trees at once).
+  std::chrono::microseconds interPassPause{0};
+};
+
+struct MaintenanceStats {
+  std::uint64_t traversals = 0;
+  std::uint64_t rotations = 0;
+  std::uint64_t removals = 0;
+  std::uint64_t failedStructuralOps = 0;
+  std::uint64_t nodesFreed = 0;
+  std::uint64_t nodesRetired = 0;
+};
+
+class SFTree {
+ public:
+  explicit SFTree(SFTreeConfig cfg = {});
+  ~SFTree();
+
+  SFTree(const SFTree&) = delete;
+  SFTree& operator=(const SFTree&) = delete;
+
+  // --- abstract operations (thread-safe, transactional) --------------------
+  // Each runs in its own transaction, or joins the caller's transaction when
+  // invoked inside stm::atomically (flat nesting), which is what makes
+  // composed operations such as move() atomic.
+  bool insert(Key k, Value v);
+  bool erase(Key k);
+  bool contains(Key k);
+  std::optional<Value> get(Key k);
+  // Composed operation from the paper's reusability experiment (§5.4):
+  // atomically relocate the value at `from` to key `to`.
+  bool move(Key from, Key to);
+
+  // Transaction-composable variants.
+  bool insertTx(stm::Tx& tx, Key k, Value v);
+  bool eraseTx(stm::Tx& tx, Key k);
+  bool containsTx(stm::Tx& tx, Key k);
+  std::optional<Value> getTx(stm::Tx& tx, Key k);
+  // Snapshot count of present keys in [lo, hi]; composes with other
+  // operations (consistent at commit). Reads the whole matching region
+  // transactionally — expensive by design, but *possible*, unlike on trees
+  // that bypass TM bookkeeping (paper §6).
+  std::size_t countRangeTx(stm::Tx& tx, Key lo, Key hi);
+  std::size_t countRange(Key lo, Key hi);
+
+  // --- maintenance control --------------------------------------------------
+  void startMaintenance();
+  void stopMaintenance();
+  bool maintenanceRunning() const { return maintenanceThread_.joinable(); }
+  // Runs maintenance traversals on the calling thread until a full pass
+  // performs no structural change (tests; maintenance thread must be
+  // stopped). Returns the number of passes.
+  int quiesceNow(int maxPasses = 1000);
+
+  MaintenanceStats maintenanceStats() const;
+
+  // --- introspection (quiesced use: no concurrent operations) --------------
+  std::size_t abstractSize();        // number of non-deleted reachable keys
+  std::size_t structuralSize();      // number of reachable nodes
+  int height();                      // height of the reachable tree
+  std::vector<Key> keysInOrder();    // abstraction contents, sorted
+  std::size_t limboPending() const { return limbo_.pending(); }
+
+  // Committed-size estimate maintained outside transactions; exact once all
+  // operations have returned.
+  std::int64_t sizeEstimate() const {
+    return sizeEstimate_.load(std::memory_order_relaxed);
+  }
+
+  const SFTreeConfig& config() const { return cfg_; }
+  SFNode* rootForTest() { return root_; }
+  gc::ThreadRegistry& registryForTest() { return registry_; }
+
+ private:
+  // Transaction kind for update operations (elastic only when safe).
+  stm::TxKind updateTxKind() const;
+
+  // --- find (both variants) -------------------------------------------------
+  // Returns the node with key k, or the node whose null child is the unique
+  // insertion point for k (paper: find "returns the correct location").
+  SFNode* findPortable(stm::Tx& tx, Key k) const;
+  SFNode* findOptimized(stm::Tx& tx, Key k) const;
+  SFNode* find(stm::Tx& tx, Key k) const;
+
+  // --- structural transactions (maintenance thread) ------------------------
+  // `changed` is true when the tree was modified; the returned pointer is
+  // the node that left the tree (to retire after commit), if any.
+  // `leftChild` selects which child of `parent` is the target node.
+  struct StructuralResult {
+    bool changed = false;
+    SFNode* unlinked = nullptr;
+  };
+  StructuralResult rotateRight(stm::Tx& tx, SFNode* parent, bool leftChild);
+  StructuralResult rotateLeft(stm::Tx& tx, SFNode* parent, bool leftChild);
+  StructuralResult removePhysical(stm::Tx& tx, SFNode* parent,
+                                  bool leftChild);
+
+  // Attempt wrappers running their own transaction and handling retirement.
+  bool tryRotateRight(SFNode* parent, bool leftChild);
+  bool tryRotateLeft(SFNode* parent, bool leftChild);
+  bool tryRemovePhysical(SFNode* parent, bool leftChild);
+
+  // --- maintenance ----------------------------------------------------------
+  void maintenanceLoop();
+  // Depth-first pass: propagates heights, triggers rotations/removals.
+  // Returns the local height of the subtree hanging off (parent, leftChild).
+  int maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
+                      bool& didWork, int depth);
+  void retireNode(SFNode* n);
+
+  static void deleteNode(void* p) { delete static_cast<SFNode*>(p); }
+
+  SFTreeConfig cfg_;
+  SFNode* root_;  // sentinel, key == kInfiniteKey, never rotated/removed
+
+  gc::ThreadRegistry registry_;
+  gc::LimboList limbo_;  // touched only by the maintenance thread
+
+  std::thread maintenanceThread_;
+  std::atomic<bool> stopFlag_{false};
+  MaintenanceStats maintStats_;
+  mutable std::mutex maintStatsMu_;
+
+  std::atomic<std::int64_t> sizeEstimate_{0};
+};
+
+}  // namespace sftree::trees

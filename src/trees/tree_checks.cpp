@@ -1,0 +1,164 @@
+#include "trees/tree_checks.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sftree::trees {
+
+namespace {
+
+struct SFCheckState {
+  CheckResult result;
+};
+
+bool checkSFSubtree(SFNode* n, Key lo, Key hi, SFCheckState& st) {
+  if (n == nullptr) return true;
+  if (!(lo < n->key && n->key < hi)) {
+    std::ostringstream os;
+    os << "BST violation: key " << n->key << " outside (" << lo << ", " << hi
+       << ")";
+    st.result = CheckResult::failure(os.str());
+    return false;
+  }
+  if (n->removed.loadRelaxed() != RemState::NotRemoved) {
+    std::ostringstream os;
+    os << "reachable node " << n->key << " is marked removed";
+    st.result = CheckResult::failure(os.str());
+    return false;
+  }
+  return checkSFSubtree(n->left.loadRelaxed(), lo, n->key, st) &&
+         checkSFSubtree(n->right.loadRelaxed(), n->key, hi, st);
+}
+
+}  // namespace
+
+CheckResult checkSFTree(SFTree& tree) {
+  SFNode* root = tree.rootForTest();
+  if (root->key != kInfiniteKey) {
+    return CheckResult::failure("root sentinel key is not +inf");
+  }
+  if (root->right.loadRelaxed() != nullptr) {
+    return CheckResult::failure("root sentinel has a right child");
+  }
+  if (root->removed.loadRelaxed() != RemState::NotRemoved) {
+    return CheckResult::failure("root sentinel is marked removed");
+  }
+  SFCheckState st;
+  checkSFSubtree(root->left.loadRelaxed(), std::numeric_limits<Key>::min(),
+                 kInfiniteKey, st);
+  return st.result;
+}
+
+namespace {
+
+struct RBCheckState {
+  CheckResult result;
+};
+
+// Returns black height of the subtree, or -1 on violation.
+int checkRBSubtree(RBNode* n, RBNode* expectedParent, Key lo, Key hi,
+                   RBCheckState& st) {
+  if (n == nullptr) return 1;  // null leaves are black
+  if (!(lo < n->key && n->key < hi)) {
+    std::ostringstream os;
+    os << "BST violation: key " << n->key << " outside (" << lo << ", " << hi
+       << ")";
+    st.result = CheckResult::failure(os.str());
+    return -1;
+  }
+  if (n->parent.loadRelaxed() != expectedParent) {
+    std::ostringstream os;
+    os << "parent pointer of " << n->key << " is inconsistent";
+    st.result = CheckResult::failure(os.str());
+    return -1;
+  }
+  RBNode* l = n->left.loadRelaxed();
+  RBNode* r = n->right.loadRelaxed();
+  const bool red = n->color.loadRelaxed() == RBColor::Red;
+  if (red) {
+    const bool leftRed = l != nullptr && l->color.loadRelaxed() == RBColor::Red;
+    const bool rightRed =
+        r != nullptr && r->color.loadRelaxed() == RBColor::Red;
+    if (leftRed || rightRed) {
+      std::ostringstream os;
+      os << "red node " << n->key << " has a red child";
+      st.result = CheckResult::failure(os.str());
+      return -1;
+    }
+  }
+  const int lh = checkRBSubtree(l, n, lo, n->key, st);
+  if (lh < 0) return -1;
+  const int rh = checkRBSubtree(r, n, n->key, hi, st);
+  if (rh < 0) return -1;
+  if (lh != rh) {
+    std::ostringstream os;
+    os << "black-height mismatch at " << n->key << " (" << lh << " vs " << rh
+       << ")";
+    st.result = CheckResult::failure(os.str());
+    return -1;
+  }
+  return lh + (red ? 0 : 1);
+}
+
+}  // namespace
+
+CheckResult checkRBTree(RBTree& tree) {
+  RBNode* root = tree.rootForTest();
+  if (root == nullptr) return {};
+  if (root->color.loadRelaxed() != RBColor::Black) {
+    return CheckResult::failure("root is not black");
+  }
+  RBCheckState st;
+  checkRBSubtree(root, nullptr, std::numeric_limits<Key>::min(),
+                 std::numeric_limits<Key>::max(), st);
+  return st.result;
+}
+
+namespace {
+
+struct AVLCheckState {
+  CheckResult result;
+};
+
+// Returns the actual height, or -1 on violation.
+int checkAVLSubtree(AVLNode* n, Key lo, Key hi, AVLCheckState& st) {
+  if (n == nullptr) return 0;
+  if (!(lo < n->key && n->key < hi)) {
+    std::ostringstream os;
+    os << "BST violation: key " << n->key << " outside (" << lo << ", " << hi
+       << ")";
+    st.result = CheckResult::failure(os.str());
+    return -1;
+  }
+  const int lh = checkAVLSubtree(n->left.loadRelaxed(), lo, n->key, st);
+  if (lh < 0) return -1;
+  const int rh = checkAVLSubtree(n->right.loadRelaxed(), n->key, hi, st);
+  if (rh < 0) return -1;
+  const int h = 1 + std::max(lh, rh);
+  if (n->height.loadRelaxed() != h) {
+    std::ostringstream os;
+    os << "stored height of " << n->key << " is " << n->height.loadRelaxed()
+       << ", actual " << h;
+    st.result = CheckResult::failure(os.str());
+    return -1;
+  }
+  if (lh - rh > 1 || rh - lh > 1) {
+    std::ostringstream os;
+    os << "balance violation at " << n->key << " (" << lh << " vs " << rh
+       << ")";
+    st.result = CheckResult::failure(os.str());
+    return -1;
+  }
+  return h;
+}
+
+}  // namespace
+
+CheckResult checkAVLTree(AVLTree& tree) {
+  AVLCheckState st;
+  checkAVLSubtree(tree.rootForTest(), std::numeric_limits<Key>::min(),
+                  std::numeric_limits<Key>::max(), st);
+  return st.result;
+}
+
+}  // namespace sftree::trees

@@ -1,0 +1,39 @@
+// Structural invariant checkers used by the test suite. All checkers assume
+// a quiesced tree (no concurrent operations, maintenance stopped).
+#pragma once
+
+#include <string>
+
+#include "trees/avltree.hpp"
+#include "trees/rbtree.hpp"
+#include "trees/sftree.hpp"
+
+namespace sftree::trees {
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;  // first violated invariant, for diagnostics
+
+  static CheckResult failure(std::string msg) { return {false, std::move(msg)}; }
+};
+
+// Speculation-friendly tree:
+//  * reachable nodes form a valid BST (keys within their ranges, Lemma 6/7)
+//  * every reachable node has removed == NotRemoved (Lemma 5)
+//  * the root sentinel holds key +inf with an empty right subtree
+CheckResult checkSFTree(SFTree& tree);
+
+// Red-black tree:
+//  * valid BST
+//  * root is black, no red node has a red child
+//  * every root-to-null path has the same black height
+//  * child->parent pointers are consistent
+CheckResult checkRBTree(RBTree& tree);
+
+// AVL tree:
+//  * valid BST
+//  * stored heights are exact
+//  * balance factor of every node is in {-1, 0, +1}
+CheckResult checkAVLTree(AVLTree& tree);
+
+}  // namespace sftree::trees

@@ -1,0 +1,104 @@
+#include "vacation/client.hpp"
+
+#include <algorithm>
+
+namespace sftree::vacation {
+
+void Client::runOneTransaction() {
+  const auto roll = static_cast<int>(rng_.nextBounded(100));
+  if (roll < cfg_.userTransactionPercent) {
+    makeReservationAction();
+    ++stats_.makeReservation;
+  } else if ((roll - cfg_.userTransactionPercent) % 2 == 0) {
+    deleteCustomerAction();
+    ++stats_.deleteCustomer;
+  } else {
+    updateTablesAction();
+    ++stats_.updateTables;
+  }
+}
+
+void Client::makeReservationAction() {
+  // Pre-draw the query plan outside the transaction (STAMP does the same):
+  // the transaction itself must be deterministic across retries.
+  struct Query {
+    ReservationType type;
+    Key id;
+  };
+  std::vector<Query> queries(static_cast<std::size_t>(cfg_.queriesPerTransaction));
+  for (auto& q : queries) {
+    q.type = static_cast<ReservationType>(rng_.nextBounded(3));
+    q.id = randomId();
+  }
+  const Key customerId = randomId();
+
+  const int made = stm::atomically([&](stm::Tx& tx) {
+    Money maxPrice[kNumReservationTypes] = {-1, -1, -1};
+    Key maxId[kNumReservationTypes] = {-1, -1, -1};
+    for (const Query& q : queries) {
+      const int t = static_cast<int>(q.type);
+      const Money price = manager_.queryPrice(tx, q.type, q.id);
+      if (price > maxPrice[t] && manager_.queryFree(tx, q.type, q.id) > 0) {
+        maxPrice[t] = price;
+        maxId[t] = q.id;
+      }
+    }
+    bool any = false;
+    for (int t = 0; t < kNumReservationTypes; ++t) {
+      if (maxId[t] >= 0) {
+        any = true;
+        break;
+      }
+    }
+    int reservations = 0;
+    if (any) {
+      manager_.addCustomer(tx, customerId);  // no-op when already present
+      for (int t = 0; t < kNumReservationTypes; ++t) {
+        if (maxId[t] < 0) continue;
+        if (manager_.reserve(tx, static_cast<ReservationType>(t), customerId,
+                             maxId[t])) {
+          ++reservations;
+        }
+      }
+    }
+    return reservations;
+  });
+  stats_.reservationsMade += static_cast<std::uint64_t>(made);
+}
+
+void Client::deleteCustomerAction() {
+  const Key customerId = randomId();
+  stm::atomically([&](stm::Tx& tx) {
+    const Money bill = manager_.queryCustomerBill(tx, customerId);
+    if (bill >= 0) {
+      manager_.deleteCustomer(tx, customerId);
+    }
+  });
+}
+
+void Client::updateTablesAction() {
+  struct Update {
+    ReservationType type;
+    Key id;
+    bool doAdd;
+    Money newPrice;
+  };
+  std::vector<Update> updates(static_cast<std::size_t>(cfg_.queriesPerTransaction));
+  for (auto& u : updates) {
+    u.type = static_cast<ReservationType>(rng_.nextBounded(3));
+    u.id = randomId();
+    u.doAdd = rng_.nextBool();
+    u.newPrice = static_cast<Money>(rng_.nextBounded(5) * 10 + 50);
+  }
+  stm::atomically([&](stm::Tx& tx) {
+    for (const Update& u : updates) {
+      if (u.doAdd) {
+        manager_.addReservation(tx, u.type, u.id, 100, u.newPrice);
+      } else {
+        manager_.deleteReservationCapacity(tx, u.type, u.id, 100);
+      }
+    }
+  });
+}
+
+}  // namespace sftree::vacation

@@ -1,0 +1,82 @@
+// Vacation client workload (STAMP vacation's client.c equivalent).
+//
+// Each client thread executes transactions drawn from three actions:
+//   * MAKE_RESERVATION (u% of transactions): query `queries` random
+//     (type, id) pairs, remember the highest-priced available one per type,
+//     then create the customer if needed and reserve those items — all in
+//     one transaction.
+//   * DELETE_CUSTOMER ((100-u)/2 %): query a customer's bill and delete the
+//     customer, cancelling all their reservations.
+//   * UPDATE_TABLES ((100-u)/2 %): add or remove capacity on `queries`
+//     random rows.
+//
+// STAMP presets: low contention  = -n2 -q90 -u98,
+//                high contention = -n4 -q60 -u90.
+#pragma once
+
+#include <cstdint>
+
+#include "bench_core/rng.hpp"
+#include "vacation/manager.hpp"
+
+namespace sftree::vacation {
+
+struct ClientConfig {
+  int queriesPerTransaction = 2;   // -n
+  int queryRangePercent = 90;      // -q: % of relations touched
+  int userTransactionPercent = 98; // -u
+  std::int64_t relations = 1 << 14;  // -r: rows per table at init
+};
+
+inline ClientConfig lowContentionConfig() {
+  return ClientConfig{2, 90, 98, 1 << 14};
+}
+
+inline ClientConfig highContentionConfig() {
+  return ClientConfig{4, 60, 90, 1 << 14};
+}
+
+struct ClientStats {
+  std::uint64_t makeReservation = 0;
+  std::uint64_t deleteCustomer = 0;
+  std::uint64_t updateTables = 0;
+  std::uint64_t reservationsMade = 0;
+
+  ClientStats& operator+=(const ClientStats& o) {
+    makeReservation += o.makeReservation;
+    deleteCustomer += o.deleteCustomer;
+    updateTables += o.updateTables;
+    reservationsMade += o.reservationsMade;
+    return *this;
+  }
+};
+
+class Client {
+ public:
+  Client(Manager& manager, const ClientConfig& cfg, std::uint64_t seed)
+      : manager_(manager), cfg_(cfg), rng_(seed) {}
+
+  // Executes one complete client transaction and updates the stats.
+  void runOneTransaction();
+
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  void makeReservationAction();
+  void deleteCustomerAction();
+  void updateTablesAction();
+
+  Key randomId() {
+    const std::int64_t range =
+        std::max<std::int64_t>(1, cfg_.relations * cfg_.queryRangePercent / 100);
+    return static_cast<Key>(rng_.nextBounded(
+        static_cast<std::uint64_t>(range)));
+  }
+
+  Manager& manager_;
+  ClientConfig cfg_;
+  bench::Rng rng_;
+  ClientStats stats_;
+};
+
+}  // namespace sftree::vacation

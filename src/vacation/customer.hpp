@@ -1,0 +1,71 @@
+// Customer record with a transactional list of reservation infos (STAMP
+// vacation's customer.c equivalent).
+#pragma once
+
+#include "structures/tmlist.hpp"
+#include "vacation/reservation.hpp"
+
+namespace sftree::vacation {
+
+class Customer {
+ public:
+  explicit Customer(Key id) : id_(id) {}
+
+  Key id() const { return id_; }
+
+  // Reservation infos are stored in the sorted transactional list keyed by
+  // (type, id); the value is the price paid.
+  static sftree::Key infoKey(ReservationType type, Key id) {
+    return static_cast<sftree::Key>(type) * kTypeStride + id;
+  }
+
+  bool addReservationInfo(stm::Tx& tx, ReservationType type, Key id,
+                          Money price) {
+    return reservations_.insertTx(tx, infoKey(type, id), price);
+  }
+
+  bool removeReservationInfo(stm::Tx& tx, ReservationType type, Key id) {
+    return reservations_.eraseTx(tx, infoKey(type, id));
+  }
+
+  bool hasReservation(stm::Tx& tx, ReservationType type, Key id) {
+    return reservations_.containsTx(tx, infoKey(type, id));
+  }
+
+  // Total price of all reservations held (STAMP's customer_getBill).
+  Money bill(stm::Tx& tx) {
+    Money total = 0;
+    reservations_.forEachTx(tx,
+                            [&](sftree::Key, sftree::Value price) {
+                              total += static_cast<Money>(price);
+                            });
+    return total;
+  }
+
+  // Applies fn(type, id, price) for each reservation info.
+  template <typename F>
+  void forEachReservation(stm::Tx& tx, F&& fn) {
+    reservations_.forEachTx(tx, [&](sftree::Key key, sftree::Value price) {
+      const auto type = static_cast<ReservationType>(key / kTypeStride);
+      const Key id = key % kTypeStride;
+      fn(type, id, static_cast<Money>(price));
+    });
+  }
+
+  std::size_t reservationCount(stm::Tx& tx) {
+    return reservations_.sizeTx(tx);
+  }
+
+  // Quiesced view for consistency checks.
+  std::vector<std::pair<sftree::Key, sftree::Value>> reservationItems() {
+    return reservations_.items();
+  }
+
+ private:
+  static constexpr sftree::Key kTypeStride = sftree::Key{1} << 40;
+
+  const Key id_;
+  structures::TMList reservations_;
+};
+
+}  // namespace sftree::vacation

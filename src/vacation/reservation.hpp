@@ -1,0 +1,85 @@
+// Reservation record (STAMP vacation's reservation.c equivalent).
+//
+// One Reservation row per (table, id): cars, flights or rooms. All fields
+// are transactional so that client transactions composing queries, updates
+// and reservations across several tables commit atomically.
+#pragma once
+
+#include <cstdint>
+
+#include "stm/stm.hpp"
+#include "trees/key.hpp"
+
+namespace sftree::vacation {
+
+using Key = sftree::Key;
+using Money = std::int64_t;
+
+enum class ReservationType : int { Car = 0, Flight = 1, Room = 2 };
+
+inline constexpr int kNumReservationTypes = 3;
+
+const char* reservationTypeName(ReservationType t);
+
+class Reservation {
+ public:
+  Reservation(Key id, std::int64_t numTotal, Money price)
+      : id_(id), numUsed_(0), numFree_(numTotal), numTotal_(numTotal),
+        price_(price) {}
+
+  Key id() const { return id_; }
+
+  // Adds (or removes, if negative) capacity. Fails when the result would
+  // leave fewer free slots than zero.
+  bool addToTotal(stm::Tx& tx, std::int64_t delta) {
+    const auto free = numFree_.read(tx);
+    if (free + delta < 0) return false;
+    numFree_.write(tx, free + delta);
+    numTotal_.write(tx, numTotal_.read(tx) + delta);
+    return true;
+  }
+
+  // Consumes one free slot.
+  bool make(stm::Tx& tx) {
+    const auto free = numFree_.read(tx);
+    if (free < 1) return false;
+    numFree_.write(tx, free - 1);
+    numUsed_.write(tx, numUsed_.read(tx) + 1);
+    return true;
+  }
+
+  // Releases one used slot.
+  bool cancel(stm::Tx& tx) {
+    const auto used = numUsed_.read(tx);
+    if (used < 1) return false;
+    numUsed_.write(tx, used - 1);
+    numFree_.write(tx, numFree_.read(tx) + 1);
+    return true;
+  }
+
+  bool updatePrice(stm::Tx& tx, Money newPrice) {
+    if (newPrice < 0) return false;
+    price_.write(tx, newPrice);
+    return true;
+  }
+
+  Money price(stm::Tx& tx) const { return price_.read(tx); }
+  std::int64_t numFree(stm::Tx& tx) const { return numFree_.read(tx); }
+  std::int64_t numUsed(stm::Tx& tx) const { return numUsed_.read(tx); }
+  std::int64_t numTotal(stm::Tx& tx) const { return numTotal_.read(tx); }
+
+  // Quiesced accessors (consistency checks).
+  std::int64_t numFreeRelaxed() const { return numFree_.loadRelaxed(); }
+  std::int64_t numUsedRelaxed() const { return numUsed_.loadRelaxed(); }
+  std::int64_t numTotalRelaxed() const { return numTotal_.loadRelaxed(); }
+  Money priceRelaxed() const { return price_.loadRelaxed(); }
+
+ private:
+  const Key id_;
+  stm::TxField<std::int64_t> numUsed_;
+  stm::TxField<std::int64_t> numFree_;
+  stm::TxField<std::int64_t> numTotal_;
+  stm::TxField<Money> price_;
+};
+
+}  // namespace sftree::vacation

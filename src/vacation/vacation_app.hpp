@@ -1,0 +1,42 @@
+// End-to-end vacation application: database initialization, multi-threaded
+// client execution, timing — everything Figure 6 measures.
+#pragma once
+
+#include <string>
+
+#include "trees/map_interface.hpp"
+#include "vacation/client.hpp"
+#include "vacation/manager.hpp"
+
+namespace sftree::vacation {
+
+struct VacationConfig {
+  ClientConfig client;
+  trees::MapKind tableKind = trees::MapKind::OptSFTree;
+  stm::TxKind txKind = stm::TxKind::Normal;
+  int threads = 2;
+  std::int64_t transactions = 1 << 14;  // -t: total, split across threads
+  std::uint64_t seed = 7;
+};
+
+struct VacationResult {
+  double seconds = 0.0;
+  ClientStats clientStats;
+  stm::ThreadStats stm;
+  bool consistent = false;
+  std::string consistencyError;
+
+  double transactionsPerSecond(std::int64_t txs) const {
+    return seconds == 0.0 ? 0.0 : static_cast<double>(txs) / seconds;
+  }
+};
+
+// Populates a manager with `relations` rows per table and customers
+// (capacities and prices drawn like STAMP's initializeManager).
+void initializeManager(Manager& manager, const ClientConfig& cfg,
+                       std::uint64_t seed);
+
+// Runs the full benchmark: init + timed client phase + consistency check.
+VacationResult runVacation(const VacationConfig& cfg);
+
+}  // namespace sftree::vacation

@@ -1,0 +1,126 @@
+// AVL tree invariants (BST order, exact stored heights, balance factors in
+// {-1,0,+1}) under sequential and concurrent workloads.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "bench_core/rng.hpp"
+#include "trees/avltree.hpp"
+#include "trees/tree_checks.hpp"
+
+namespace trees = sftree::trees;
+using sftree::Key;
+using sftree::bench::Rng;
+using trees::AVLTree;
+
+namespace {
+
+void expectValid(AVLTree& tree) {
+  const auto check = trees::checkAVLTree(tree);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(AVLTreeInvariantTest, EmptyTreeIsValid) {
+  AVLTree tree;
+  expectValid(tree);
+}
+
+TEST(AVLTreeInvariantTest, AscendingInsertionStaysBalanced) {
+  AVLTree tree;
+  constexpr Key kN = 2048;
+  for (Key k = 0; k < kN; ++k) ASSERT_TRUE(tree.insert(k, k));
+  expectValid(tree);
+  // AVL height bound: 1.44*log2(n+2).
+  EXPECT_LE(tree.height(), 17);
+}
+
+TEST(AVLTreeInvariantTest, RotationCases) {
+  // Exercise all four rotation cases explicitly: LL, RR, LR, RL.
+  {
+    AVLTree t;  // LL
+    t.insert(30, 0);
+    t.insert(20, 0);
+    t.insert(10, 0);
+    expectValid(t);
+    EXPECT_EQ(t.keysInOrder(), (std::vector<Key>{10, 20, 30}));
+    EXPECT_EQ(t.height(), 2);
+  }
+  {
+    AVLTree t;  // RR
+    t.insert(10, 0);
+    t.insert(20, 0);
+    t.insert(30, 0);
+    expectValid(t);
+    EXPECT_EQ(t.height(), 2);
+  }
+  {
+    AVLTree t;  // LR
+    t.insert(30, 0);
+    t.insert(10, 0);
+    t.insert(20, 0);
+    expectValid(t);
+    EXPECT_EQ(t.height(), 2);
+  }
+  {
+    AVLTree t;  // RL
+    t.insert(10, 0);
+    t.insert(30, 0);
+    t.insert(20, 0);
+    expectValid(t);
+    EXPECT_EQ(t.height(), 2);
+  }
+}
+
+TEST(AVLTreeInvariantTest, EraseLeafAndInteriorAndRoot) {
+  AVLTree tree;
+  for (Key k : {50, 25, 75, 12, 37, 62, 87}) tree.insert(k, k);
+  ASSERT_TRUE(tree.erase(12));  // leaf
+  expectValid(tree);
+  ASSERT_TRUE(tree.erase(25));  // one child
+  expectValid(tree);
+  ASSERT_TRUE(tree.erase(50));  // root with two children
+  expectValid(tree);
+  EXPECT_EQ(tree.keysInOrder(), (std::vector<Key>{37, 62, 75, 87}));
+}
+
+TEST(AVLTreeInvariantTest, MixedFuzzKeepsInvariants) {
+  AVLTree tree;
+  std::set<Key> reference;
+  Rng rng(4242);
+  for (int i = 0; i < 8000; ++i) {
+    const Key k = static_cast<Key>(rng.nextBounded(512));
+    if (rng.nextBool()) {
+      ASSERT_EQ(tree.insert(k, k), reference.insert(k).second);
+    } else {
+      ASSERT_EQ(tree.erase(k), reference.erase(k) > 0);
+    }
+    if (i % 500 == 0) expectValid(tree);
+  }
+  expectValid(tree);
+  std::vector<Key> expect(reference.begin(), reference.end());
+  EXPECT_EQ(tree.keysInOrder(), expect);
+}
+
+TEST(AVLTreeInvariantTest, ConcurrentChurnEndsValid) {
+  AVLTree tree;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1300 + t);
+      for (int i = 0; i < 5000; ++i) {
+        const Key k = static_cast<Key>(rng.nextBounded(1024));
+        if (rng.nextBool()) {
+          tree.insert(k, k);
+        } else {
+          tree.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  expectValid(tree);
+}
+
+}  // namespace

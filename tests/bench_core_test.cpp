@@ -1,0 +1,168 @@
+// Benchmark-harness units: workload generator distributions, CLI parsing,
+// population, and a short end-to-end throughput run.
+#include <gtest/gtest.h>
+
+#include "bench_core/cli.hpp"
+#include "bench_core/harness.hpp"
+#include "bench_core/report.hpp"
+#include "bench_core/workload.hpp"
+#include "trees/map_interface.hpp"
+
+namespace bench = sftree::bench;
+namespace trees = sftree::trees;
+using sftree::Key;
+
+namespace {
+
+TEST(WorkloadGeneratorTest, ZeroUpdatesMeansOnlyContains) {
+  bench::WorkloadConfig cfg;
+  cfg.updatePercent = 0.0;
+  bench::WorkloadGenerator gen(cfg, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gen.next().type, bench::OpType::Contains);
+  }
+}
+
+TEST(WorkloadGeneratorTest, AttemptedUpdatesAreTwiceEffectiveTarget) {
+  bench::WorkloadConfig cfg;
+  cfg.updatePercent = 10.0;
+  bench::WorkloadGenerator gen(cfg, 2);
+  int updates = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto op = gen.next();
+    if (op.type != bench::OpType::Contains) ++updates;
+  }
+  const double ratio = 100.0 * updates / kSamples;
+  EXPECT_NEAR(ratio, 20.0, 1.0);  // 2x the 10% effective target
+}
+
+TEST(WorkloadGeneratorTest, FiftyPercentEffectiveSaturatesAttempts) {
+  bench::WorkloadConfig cfg;
+  cfg.updatePercent = 50.0;
+  bench::WorkloadGenerator gen(cfg, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(gen.next().type, bench::OpType::Contains);
+  }
+}
+
+TEST(WorkloadGeneratorTest, KeysStayInRange) {
+  bench::WorkloadConfig cfg;
+  cfg.keyRange = 1 << 10;
+  cfg.updatePercent = 30.0;
+  cfg.biased = true;
+  bench::WorkloadGenerator gen(cfg, 4);
+  for (int i = 0; i < 50000; ++i) {
+    const auto op = gen.next();
+    EXPECT_GE(op.key, 0);
+    EXPECT_LT(op.key, cfg.keyRange);
+  }
+}
+
+TEST(WorkloadGeneratorTest, BiasedInsertKeysDriftUpward) {
+  bench::WorkloadConfig cfg;
+  cfg.keyRange = 1 << 14;
+  cfg.updatePercent = 50.0;
+  cfg.biased = true;
+  bench::WorkloadGenerator gen(cfg, 5);
+  // Collect consecutive insert keys; between wraparounds they must be
+  // non-decreasing (the paper's skew towards high values).
+  Key last = -1;
+  int increases = 0;
+  int decreases = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto op = gen.next();
+    if (op.type != bench::OpType::Insert) continue;
+    if (last >= 0) {
+      if (op.key >= last) {
+        ++increases;
+      } else {
+        ++decreases;  // wraparound only
+      }
+    }
+    last = op.key;
+  }
+  EXPECT_GT(increases, decreases * 50);
+}
+
+TEST(WorkloadGeneratorTest, MovesAppearWhenRequested) {
+  bench::WorkloadConfig cfg;
+  cfg.updatePercent = 10.0;
+  cfg.movePercent = 5.0;
+  bench::WorkloadGenerator gen(cfg, 6);
+  int moves = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (gen.next().type == bench::OpType::Move) ++moves;
+  }
+  EXPECT_GT(moves, 0);
+  EXPECT_NEAR(100.0 * moves / 100000.0, 10.0, 1.0);  // 2x 5% effective
+}
+
+TEST(CliTest, ParsesTypes) {
+  const char* argv[] = {"prog",          "--threads=1,2,4", "--duration-ms=50",
+                        "--update=12.5", "--biased",        "--name=fig3"};
+  bench::Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.intList("threads", {}), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(cli.integer("duration-ms", 0), 50);
+  EXPECT_DOUBLE_EQ(cli.real("update", 0), 12.5);
+  EXPECT_TRUE(cli.flag("biased"));
+  EXPECT_FALSE(cli.flag("unknown"));
+  EXPECT_EQ(cli.str("name", ""), "fig3");
+  EXPECT_EQ(cli.integer("missing", 7), 7);
+}
+
+TEST(ReportTest, RendersAlignedTable) {
+  bench::Table t({"tree", "ops/us"});
+  t.addRow({"RBtree", bench::Table::num(1.25)});
+  t.addRow({"SFtree", bench::Table::num(2.5)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("RBtree"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("tree"), std::string::npos);
+}
+
+TEST(HarnessTest, PopulateReachesExactSize) {
+  auto map = trees::makeMap(trees::MapKind::RBTree);
+  bench::RunConfig cfg;
+  cfg.initialSize = 500;
+  cfg.workload.keyRange = 2048;
+  bench::populate(*map, cfg);
+  EXPECT_EQ(map->size(), 500u);
+}
+
+TEST(HarnessTest, ShortRunProducesThroughput) {
+  auto map = trees::makeMap(trees::MapKind::OptSFTree);
+  bench::RunConfig cfg;
+  cfg.initialSize = 256;
+  cfg.workload.keyRange = 512;
+  cfg.workload.updatePercent = 10.0;
+  cfg.threads = 2;
+  cfg.durationMs = 100;
+  bench::populate(*map, cfg);
+  const auto result = bench::runThroughput(*map, cfg);
+  EXPECT_GT(result.totalOps, 0u);
+  EXPECT_GT(result.opsPerMicrosecond(), 0.0);
+  EXPECT_GT(result.stm.commits, 0u);
+  // The effective update ratio should be in the rough vicinity of the
+  // target (steady-state argument, short run => loose bounds).
+  EXPECT_GT(result.effectiveUpdateRatio(), 2.0);
+  EXPECT_LT(result.effectiveUpdateRatio(), 25.0);
+}
+
+TEST(HarnessTest, ReadOnlyRunHasNoEffectiveUpdates) {
+  auto map = trees::makeMap(trees::MapKind::RBTree);
+  bench::RunConfig cfg;
+  cfg.initialSize = 128;
+  cfg.workload.keyRange = 256;
+  cfg.workload.updatePercent = 0.0;
+  cfg.threads = 2;
+  cfg.durationMs = 50;
+  bench::populate(*map, cfg);
+  const auto result = bench::runThroughput(*map, cfg);
+  EXPECT_EQ(result.effectiveUpdates, 0u);
+  EXPECT_EQ(result.attemptedUpdates, 0u);
+}
+
+}  // namespace

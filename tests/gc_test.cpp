@@ -1,0 +1,208 @@
+// Quiescence-based reclamation tests (paper §3.4 protocol).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "gc/limbo_list.hpp"
+#include "gc/thread_registry.hpp"
+
+namespace gc = sftree::gc;
+
+namespace {
+
+struct Tracked {
+  static std::atomic<int> liveCount;
+  Tracked() { liveCount.fetch_add(1); }
+  ~Tracked() { liveCount.fetch_sub(1); }
+  static void deleter(void* p) { delete static_cast<Tracked*>(p); }
+};
+std::atomic<int> Tracked::liveCount{0};
+
+TEST(ThreadRegistryTest, SlotIsStablePerThread) {
+  gc::ThreadRegistry reg;
+  auto* s1 = &reg.currentSlot();
+  auto* s2 = &reg.currentSlot();
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(ThreadRegistryTest, DistinctThreadsGetDistinctSlots) {
+  gc::ThreadRegistry reg;
+  auto* mine = &reg.currentSlot();
+  gc::ThreadRegistry::Slot* theirs = nullptr;
+  std::thread t([&] { theirs = &reg.currentSlot(); });
+  t.join();
+  EXPECT_NE(mine, theirs);
+}
+
+TEST(ThreadRegistryTest, SlotsAreReusedAfterThreadExit) {
+  gc::ThreadRegistry reg;
+  (void)reg.currentSlot();
+  std::thread t1([&] { (void)reg.currentSlot(); });
+  t1.join();
+  const auto count = reg.slotCountForTest();
+  std::thread t2([&] { (void)reg.currentSlot(); });
+  t2.join();
+  EXPECT_EQ(reg.slotCountForTest(), count);
+}
+
+TEST(ThreadRegistryTest, QuiescedWhenNothingPending) {
+  gc::ThreadRegistry reg;
+  (void)reg.currentSlot();
+  const auto snap = reg.snapshot();
+  EXPECT_TRUE(reg.quiescedSince(snap));
+}
+
+TEST(ThreadRegistryTest, PendingOperationBlocksQuiescence) {
+  gc::ThreadRegistry reg;
+  auto& slot = reg.currentSlot();
+  slot.pending.store(true);
+  const auto snap = reg.snapshot();
+  EXPECT_FALSE(reg.quiescedSince(snap));
+  // Completing the operation unblocks collection.
+  slot.completed.fetch_add(1);
+  slot.pending.store(false);
+  EXPECT_TRUE(reg.quiescedSince(snap));
+}
+
+TEST(ThreadRegistryTest, CounterAdvanceAloneIsEnough) {
+  // Thread finished the snapshotted op and immediately started a new one:
+  // pending is true again but the counter advanced, so the old nodes are
+  // unreachable to it.
+  gc::ThreadRegistry reg;
+  auto& slot = reg.currentSlot();
+  slot.pending.store(true);
+  const auto snap = reg.snapshot();
+  slot.completed.fetch_add(1);
+  slot.pending.store(true);  // new operation in flight
+  EXPECT_TRUE(reg.quiescedSince(snap));
+}
+
+TEST(OpGuardTest, BracketsPendingAndCounter) {
+  gc::ThreadRegistry reg;
+  auto& slot = reg.currentSlot();
+  const auto before = slot.completed.load();
+  {
+    gc::OpGuard g(reg);
+    EXPECT_TRUE(slot.pending.load());
+  }
+  EXPECT_FALSE(slot.pending.load());
+  EXPECT_EQ(slot.completed.load(), before + 1);
+}
+
+TEST(LimboListTest, CollectsAfterQuiescence) {
+  gc::ThreadRegistry reg;
+  gc::LimboList limbo;
+  (void)reg.currentSlot();
+
+  limbo.retire(new Tracked, &Tracked::deleter);
+  limbo.retire(new Tracked, &Tracked::deleter);
+  EXPECT_EQ(Tracked::liveCount.load(), 2);
+
+  limbo.openEpoch(reg);
+  EXPECT_EQ(limbo.tryCollect(reg), 2u);
+  EXPECT_EQ(Tracked::liveCount.load(), 0);
+}
+
+TEST(LimboListTest, DoesNotCollectWhileOperationPending) {
+  gc::ThreadRegistry reg;
+  gc::LimboList limbo;
+  auto& slot = reg.currentSlot();
+
+  limbo.retire(new Tracked, &Tracked::deleter);
+  slot.pending.store(true);
+  limbo.openEpoch(reg);
+  EXPECT_EQ(limbo.tryCollect(reg), 0u);
+  EXPECT_EQ(Tracked::liveCount.load(), 1);
+
+  slot.completed.fetch_add(1);
+  slot.pending.store(false);
+  EXPECT_EQ(limbo.tryCollect(reg), 1u);
+  EXPECT_EQ(Tracked::liveCount.load(), 0);
+}
+
+TEST(LimboListTest, OnlyEpochPrefixIsCollected) {
+  gc::ThreadRegistry reg;
+  gc::LimboList limbo;
+  (void)reg.currentSlot();
+
+  limbo.retire(new Tracked, &Tracked::deleter);
+  limbo.openEpoch(reg);
+  limbo.retire(new Tracked, &Tracked::deleter);  // after the epoch snapshot
+
+  EXPECT_EQ(limbo.tryCollect(reg), 1u);
+  EXPECT_EQ(Tracked::liveCount.load(), 1);
+  EXPECT_EQ(limbo.pending(), 1u);
+
+  limbo.openEpoch(reg);
+  EXPECT_EQ(limbo.tryCollect(reg), 1u);
+  EXPECT_EQ(Tracked::liveCount.load(), 0);
+}
+
+TEST(LimboListTest, DestructorFreesEverything) {
+  {
+    gc::LimboList limbo;
+    limbo.retire(new Tracked, &Tracked::deleter);
+    limbo.retire(new Tracked, &Tracked::deleter);
+  }
+  EXPECT_EQ(Tracked::liveCount.load(), 0);
+}
+
+TEST(LimboListTest, CountersTrackRetireAndFree) {
+  gc::ThreadRegistry reg;
+  gc::LimboList limbo;
+  (void)reg.currentSlot();
+  for (int i = 0; i < 5; ++i) limbo.retire(new Tracked, &Tracked::deleter);
+  limbo.openEpoch(reg);
+  limbo.tryCollect(reg);
+  EXPECT_EQ(limbo.retiredTotal(), 5u);
+  EXPECT_EQ(limbo.freedTotal(), 5u);
+  EXPECT_EQ(limbo.pending(), 0u);
+}
+
+// End-to-end shape: readers hold OpGuards while "traversing" retired nodes;
+// the collector must never free a node while a guard that could reference it
+// is open.
+TEST(LimboListTest, StressReadersNeverSeeFreedMemory) {
+  gc::ThreadRegistry reg;
+  gc::LimboList limbo;
+
+  struct Node {
+    std::atomic<std::int64_t> value{42};
+  };
+  std::atomic<Node*> shared{new Node};
+  std::atomic<bool> stop{false};
+  std::atomic<int> badReads{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      gc::OpGuard g(reg);
+      Node* n = shared.load(std::memory_order_acquire);
+      // Between load and dereference the node may be retired but must not
+      // be freed: the OpGuard keeps us in the epoch.
+      if (n->value.load(std::memory_order_relaxed) != 42) {
+        badReads.fetch_add(1);
+      }
+    }
+  });
+
+  for (int i = 0; i < 2000; ++i) {
+    Node* fresh = new Node;
+    Node* old = shared.exchange(fresh, std::memory_order_acq_rel);
+    limbo.retire(old, [](void* p) {
+      auto* node = static_cast<Node*>(p);
+      node->value.store(-1, std::memory_order_relaxed);  // poison
+      delete node;
+    });
+    limbo.openEpoch(reg);
+    while (limbo.tryCollect(reg) == 0) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  delete shared.load();
+  EXPECT_EQ(badReads.load(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Whole-library integration stress: several structures of different kinds
+// live in one process and are exercised simultaneously — trees with and
+// without maintenance threads, a transactional list, cross-structure
+// transactions, and range counts — then everything is validated.
+//
+// This is the "does it all compose" test a downstream adopter cares about:
+// one global STM runtime, many independent structures, no interference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "bench_core/rng.hpp"
+#include "structures/tmlist.hpp"
+#include "trees/map_interface.hpp"
+#include "trees/tree_checks.hpp"
+
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+using sftree::Key;
+using sftree::bench::Rng;
+
+namespace {
+
+TEST(IntegrationStressTest, ManyStructuresOneRuntime) {
+  auto optSf = trees::makeMap(trees::MapKind::OptSFTree);
+  auto sf = trees::makeMap(trees::MapKind::SFTree);
+  auto rb = trees::makeMap(trees::MapKind::RBTree);
+  auto avl = trees::makeMap(trees::MapKind::AVLTree);
+  sftree::structures::TMList list;
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  constexpr Key kRange = 512;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> crossAnomalies{0};
+
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(31337 + t);
+      sync.arrive_and_wait();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Key k = static_cast<Key>(rng.nextBounded(kRange));
+        switch (rng.nextBounded(8)) {
+          case 0: optSf->insert(k, k); break;
+          case 1: optSf->erase(k); break;
+          case 2: rb->insert(k, k); break;
+          case 3: rb->erase(k); break;
+          case 4: avl->insert(k, k); break;
+          case 5:
+            // Cross-structure transaction: transfer a key from the RB tree
+            // to the SF tree atomically; an observer transaction checks the
+            // "exactly one holder" invariant for the transferred marker.
+            stm::atomically([&](stm::Tx& tx) {
+              if (rb->containsTx(tx, kRange + 1)) {
+                rb->eraseTx(tx, kRange + 1);
+                sf->insertTx(tx, kRange + 1, 1);
+              } else if (sf->containsTx(tx, kRange + 1)) {
+                sf->eraseTx(tx, kRange + 1);
+                rb->insertTx(tx, kRange + 1, 1);
+              } else {
+                rb->insertTx(tx, kRange + 1, 1);  // seed the marker
+              }
+            });
+            break;
+          case 6: {
+            const int holders = stm::atomically([&](stm::Tx& tx) {
+              return (rb->containsTx(tx, kRange + 1) ? 1 : 0) +
+                     (sf->containsTx(tx, kRange + 1) ? 1 : 0);
+            });
+            if (holders > 1) crossAnomalies.fetch_add(1);
+            break;
+          }
+          default:
+            stm::atomically([&](stm::Tx& tx) {
+              if (!list.containsTx(tx, k)) list.insertTx(tx, k, k);
+            });
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(crossAnomalies.load(), 0);
+  optSf->quiesce();
+  sf->quiesce();
+
+  // Every structure is individually sane afterwards.
+  for (auto* m : {optSf.get(), sf.get(), rb.get(), avl.get()}) {
+    const auto keys = m->keysInOrder();
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      ASSERT_LT(keys[i - 1], keys[i]);
+    }
+  }
+  const auto items = list.items();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    ASSERT_LT(items[i - 1].first, items[i].first);
+  }
+}
+
+TEST(IntegrationStressTest, RangeCountsAcrossStructuresAreConsistent) {
+  // Keys are partitioned between two trees; movers shuffle keys between
+  // them atomically. The combined range count, taken in one transaction,
+  // must always equal the initial total.
+  auto a = trees::makeMap(trees::MapKind::OptSFTree);
+  auto b = trees::makeMap(trees::MapKind::RBTree);
+  constexpr Key kRange = 128;
+  std::size_t total = 0;
+  for (Key k = 0; k < kRange; ++k) {
+    a->insert(k, k);
+    ++total;
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+
+  std::vector<std::thread> movers;
+  for (int t = 0; t < 2; ++t) {
+    movers.emplace_back([&, t] {
+      Rng rng(7 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key k = static_cast<Key>(rng.nextBounded(kRange));
+        stm::atomically([&](stm::Tx& tx) {
+          if (a->containsTx(tx, k)) {
+            a->eraseTx(tx, k);
+            b->insertTx(tx, k, k);
+          } else if (b->containsTx(tx, k)) {
+            b->eraseTx(tx, k);
+            a->insertTx(tx, k, k);
+          }
+        });
+      }
+    });
+  }
+  std::thread counter([&] {
+    for (int i = 0; i < 200; ++i) {
+      const auto n = stm::atomically([&](stm::Tx& tx) {
+        return a->countRangeTx(tx, 0, kRange - 1) +
+               b->countRangeTx(tx, 0, kRange - 1);
+      });
+      if (n != total) anomalies.fetch_add(1);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  counter.join();
+  for (auto& th : movers) th.join();
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+TEST(IntegrationStressTest, DestructionUnderQuiescenceIsClean) {
+  // Create and destroy trees repeatedly while their maintenance threads
+  // run: destructor ordering (stop thread, drain limbo, free graph) must
+  // not leak or crash. Run under ASan/TSan in CI configurations.
+  for (int round = 0; round < 10; ++round) {
+    auto map = trees::makeMap(trees::MapKind::OptSFTree);
+    std::thread worker([&] {
+      for (Key k = 0; k < 300; ++k) map->insert(k, k);
+      for (Key k = 0; k < 300; k += 2) map->erase(k);
+    });
+    worker.join();
+    // Destructor runs with the maintenance thread mid-flight.
+  }
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Transactional range queries: sequential correctness against std::map and
+// — the important part — snapshot consistency while the tree churns
+// (the composable size()/countRange() the paper contrasts with trees that
+// bypass TM bookkeeping, §6).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+
+#include "bench_core/rng.hpp"
+#include "trees/map_interface.hpp"
+
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+using sftree::Key;
+using sftree::bench::Rng;
+
+namespace {
+
+class RangeQueryTest : public ::testing::TestWithParam<trees::MapKind> {
+ protected:
+  std::unique_ptr<trees::ITransactionalMap> makeMap() {
+    return trees::makeMap(GetParam());
+  }
+};
+
+TEST_P(RangeQueryTest, EmptyTreeCountsZero) {
+  auto map = makeMap();
+  EXPECT_EQ(map->countRange(0, 1000), 0u);
+}
+
+TEST_P(RangeQueryTest, CountsMatchReference) {
+  auto map = makeMap();
+  std::map<Key, sftree::Value> reference;
+  Rng rng(808);
+  for (int i = 0; i < 600; ++i) {
+    const Key k = static_cast<Key>(rng.nextBounded(1 << 12));
+    if (rng.nextBool()) {
+      map->insert(k, k);
+      reference.emplace(k, k);
+    } else {
+      map->erase(k);
+      reference.erase(k);
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    Key lo = static_cast<Key>(rng.nextBounded(1 << 12));
+    Key hi = static_cast<Key>(rng.nextBounded(1 << 12));
+    if (lo > hi) std::swap(lo, hi);
+    const auto expect = static_cast<std::size_t>(std::distance(
+        reference.lower_bound(lo), reference.upper_bound(hi)));
+    EXPECT_EQ(map->countRange(lo, hi), expect) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST_P(RangeQueryTest, BoundsAreInclusive) {
+  auto map = makeMap();
+  for (Key k : {10, 20, 30}) map->insert(k, k);
+  EXPECT_EQ(map->countRange(10, 30), 3u);
+  EXPECT_EQ(map->countRange(11, 29), 1u);
+  EXPECT_EQ(map->countRange(10, 10), 1u);
+  EXPECT_EQ(map->countRange(31, 40), 0u);
+}
+
+TEST_P(RangeQueryTest, LogicallyDeletedKeysAreNotCounted) {
+  auto map = makeMap();
+  for (Key k = 0; k < 32; ++k) map->insert(k, k);
+  for (Key k = 0; k < 32; k += 2) map->erase(k);
+  // No quiesce: for SF/NR trees the deleted nodes are still physically
+  // present — the count must reflect the abstraction anyway.
+  EXPECT_EQ(map->countRange(0, 31), 16u);
+}
+
+TEST_P(RangeQueryTest, ComposesWithUpdatesInOneTransaction) {
+  auto map = makeMap();
+  for (Key k = 0; k < 10; ++k) map->insert(k, k);
+  // Atomically: count, then insert as many new keys above 100 as counted,
+  // then verify the count of the new range inside the same transaction.
+  stm::atomically([&](stm::Tx& tx) {
+    const auto n = map->countRangeTx(tx, 0, 99);
+    for (std::size_t i = 0; i < n; ++i) {
+      map->insertTx(tx, static_cast<Key>(100 + i), 0);
+    }
+    EXPECT_EQ(map->countRangeTx(tx, 100, 199), n);
+  });
+  EXPECT_EQ(map->countRange(100, 199), 10u);
+}
+
+// The serializability test: concurrent moves shuffle keys around, which
+// never changes the cardinality; a consistent snapshot count must therefore
+// always return the initial count.
+TEST_P(RangeQueryTest, SnapshotCountIsStableUnderMoves) {
+  auto map = makeMap();
+  constexpr Key kRange = 256;
+  std::size_t initial = 0;
+  for (Key k = 0; k < kRange; k += 2) {
+    map->insert(k, k);
+    ++initial;
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+
+  std::vector<std::thread> movers;
+  for (int t = 0; t < 2; ++t) {
+    movers.emplace_back([&, t] {
+      Rng rng(99 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const Key a = static_cast<Key>(rng.nextBounded(kRange));
+        const Key b = static_cast<Key>(rng.nextBounded(kRange));
+        map->move(a, b);
+      }
+    });
+  }
+  std::thread counter([&] {
+    for (int i = 0; i < 300; ++i) {
+      const auto n = map->countRange(0, kRange - 1);
+      if (n != initial) anomalies.fetch_add(1);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  counter.join();
+  for (auto& th : movers) th.join();
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+TEST_P(RangeQueryTest, SizeTxMatchesQuiescedSize) {
+  auto map = makeMap();
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    map->insert(static_cast<Key>(rng.nextBounded(4096)), 1);
+  }
+  const auto snapshotSize =
+      stm::atomically([&](stm::Tx& tx) { return map->sizeTx(tx); });
+  map->quiesce();
+  EXPECT_EQ(snapshotSize, map->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrees, RangeQueryTest, ::testing::ValuesIn(trees::allMapKinds()),
+    [](const ::testing::TestParamInfo<trees::MapKind>& info) {
+      std::string name = trees::mapKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Red-black tree invariants (BST order, red-red freedom, black-height
+// balance, parent consistency) under sequential and concurrent workloads.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "bench_core/rng.hpp"
+#include "trees/rbtree.hpp"
+#include "trees/tree_checks.hpp"
+
+namespace trees = sftree::trees;
+using sftree::Key;
+using sftree::bench::Rng;
+using trees::RBTree;
+
+namespace {
+
+void expectValid(RBTree& tree) {
+  const auto check = trees::checkRBTree(tree);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(RBTreeInvariantTest, EmptyTreeIsValid) {
+  RBTree tree;
+  expectValid(tree);
+}
+
+TEST(RBTreeInvariantTest, AscendingInsertionStaysBalanced) {
+  RBTree tree;
+  constexpr Key kN = 2048;
+  for (Key k = 0; k < kN; ++k) ASSERT_TRUE(tree.insert(k, k));
+  expectValid(tree);
+  // Red-black height bound: 2*log2(n+1).
+  EXPECT_LE(tree.height(), 2 * 12);
+}
+
+TEST(RBTreeInvariantTest, DescendingInsertionStaysBalanced) {
+  RBTree tree;
+  for (Key k = 2047; k >= 0; --k) ASSERT_TRUE(tree.insert(k, k));
+  expectValid(tree);
+  EXPECT_LE(tree.height(), 2 * 12);
+}
+
+TEST(RBTreeInvariantTest, InvariantHoldsAfterEveryEraseBatch) {
+  RBTree tree;
+  std::set<Key> reference;
+  Rng rng(42);
+  for (int i = 0; i < 1024; ++i) {
+    const Key k = static_cast<Key>(rng.nextBounded(4096));
+    if (tree.insert(k, k)) reference.insert(k);
+  }
+  expectValid(tree);
+  int batch = 0;
+  for (auto it = reference.begin(); it != reference.end();) {
+    ASSERT_TRUE(tree.erase(*it));
+    it = reference.erase(it);
+    if (++batch % 64 == 0) expectValid(tree);
+  }
+  expectValid(tree);
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(RBTreeInvariantTest, DeleteWithTwoChildrenCases) {
+  // Exercise the successor-transplant path specifically: delete interior
+  // nodes whose successor is (a) the right child, (b) deeper in the right
+  // subtree.
+  RBTree tree;
+  for (Key k : {50, 25, 75, 12, 37, 62, 87, 31, 43}) tree.insert(k, k);
+  expectValid(tree);
+  ASSERT_TRUE(tree.erase(25));  // successor 31 deep in right subtree
+  expectValid(tree);
+  ASSERT_TRUE(tree.erase(75));  // successor 87 is the right child
+  expectValid(tree);
+  EXPECT_EQ(tree.keysInOrder(), (std::vector<Key>{12, 31, 37, 43, 50, 62, 87}));
+}
+
+TEST(RBTreeInvariantTest, MixedFuzzKeepsInvariants) {
+  RBTree tree;
+  std::set<Key> reference;
+  Rng rng(777);
+  for (int i = 0; i < 8000; ++i) {
+    const Key k = static_cast<Key>(rng.nextBounded(512));
+    if (rng.nextBool()) {
+      ASSERT_EQ(tree.insert(k, k), reference.insert(k).second);
+    } else {
+      ASSERT_EQ(tree.erase(k), reference.erase(k) > 0);
+    }
+    if (i % 500 == 0) expectValid(tree);
+  }
+  expectValid(tree);
+  std::vector<Key> expect(reference.begin(), reference.end());
+  EXPECT_EQ(tree.keysInOrder(), expect);
+}
+
+TEST(RBTreeInvariantTest, ConcurrentChurnEndsValid) {
+  RBTree tree;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(900 + t);
+      for (int i = 0; i < 5000; ++i) {
+        const Key k = static_cast<Key>(rng.nextBounded(1024));
+        if (rng.nextBool()) {
+          tree.insert(k, k);
+        } else {
+          tree.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  expectValid(tree);
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Single-threaded semantics of the STM: commit/abort, buffering,
+// read-after-write, nesting, field codecs, statistics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "stm/stm.hpp"
+
+namespace stm = sftree::stm;
+
+namespace {
+
+struct LockModeCase {
+  stm::LockMode mode;
+  stm::TmBackend backend;
+  const char* name;
+};
+
+class StmBasicTest : public ::testing::TestWithParam<LockModeCase> {
+ protected:
+  void SetUp() override {
+    auto cfg = stm::Runtime::instance().config();
+    cfg.lockMode = GetParam().mode;
+    cfg.backend = GetParam().backend;
+    stm::Runtime::instance().setConfig(cfg);
+  }
+  void TearDown() override {
+    auto cfg = stm::Runtime::instance().config();
+    cfg.lockMode = stm::LockMode::Lazy;
+    cfg.backend = stm::TmBackend::Orec;
+    stm::Runtime::instance().setConfig(cfg);
+  }
+};
+
+TEST_P(StmBasicTest, CommitPublishesWrite) {
+  stm::TxField<std::int64_t> x(0);
+  stm::atomically([&](stm::Tx& tx) { x.write(tx, 42); });
+  const auto got = stm::atomically([&](stm::Tx& tx) { return x.read(tx); });
+  EXPECT_EQ(got, 42);
+}
+
+TEST_P(StmBasicTest, ReadAfterWriteSeesBufferedValue) {
+  stm::TxField<std::int64_t> x(1);
+  stm::atomically([&](stm::Tx& tx) {
+    x.write(tx, 7);
+    EXPECT_EQ(x.read(tx), 7);
+    x.write(tx, 9);
+    EXPECT_EQ(x.read(tx), 9);
+  });
+  EXPECT_EQ(x.loadRelaxed(), 9);
+}
+
+TEST_P(StmBasicTest, UreadSeesBufferedOwnWrite) {
+  stm::TxField<std::int64_t> x(1);
+  stm::atomically([&](stm::Tx& tx) {
+    x.write(tx, 5);
+    EXPECT_EQ(x.uread(tx), 5);
+  });
+}
+
+TEST_P(StmBasicTest, AbortDiscardsWrites) {
+  stm::TxField<std::int64_t> x(10);
+  int attempts = 0;
+  stm::atomically([&](stm::Tx& tx) {
+    ++attempts;
+    if (attempts == 1) {
+      x.write(tx, 99);
+      tx.restart();  // user-requested retry: first attempt must not publish
+    }
+  });
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(x.loadRelaxed(), 10);
+}
+
+TEST_P(StmBasicTest, ReturnsValueFromLambda) {
+  stm::TxField<std::int64_t> x(21);
+  const auto doubled =
+      stm::atomically([&](stm::Tx& tx) { return 2 * x.read(tx); });
+  EXPECT_EQ(doubled, 42);
+}
+
+TEST_P(StmBasicTest, FlatNestingComposesIntoOneTransaction) {
+  stm::TxField<std::int64_t> a(0);
+  stm::TxField<std::int64_t> b(0);
+  int outerAttempts = 0;
+  stm::atomically([&](stm::Tx& tx) {
+    ++outerAttempts;
+    stm::atomically([&](stm::Tx& inner) { a.write(inner, 1); });
+    // The inner transaction must not have committed independently.
+    EXPECT_EQ(a.loadRelaxed(), 0);
+    stm::atomically([&](stm::Tx& inner) { b.write(inner, 2); });
+    if (outerAttempts == 1) tx.restart();
+  });
+  EXPECT_EQ(outerAttempts, 2);
+  EXPECT_EQ(a.loadRelaxed(), 1);
+  EXPECT_EQ(b.loadRelaxed(), 2);
+}
+
+TEST_P(StmBasicTest, NestedAbortRollsBackWholeComposition) {
+  stm::TxField<std::int64_t> a(0);
+  int attempts = 0;
+  stm::atomically([&](stm::Tx&) {
+    ++attempts;
+    stm::atomically([&](stm::Tx& inner) {
+      a.write(inner, attempts);
+      if (attempts == 1) inner.restart();
+    });
+  });
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(a.loadRelaxed(), 2);
+}
+
+TEST_P(StmBasicTest, PointerFieldRoundTrips) {
+  int dummy = 0;
+  stm::TxField<int*> p(nullptr);
+  stm::atomically([&](stm::Tx& tx) {
+    EXPECT_EQ(p.read(tx), nullptr);
+    p.write(tx, &dummy);
+  });
+  EXPECT_EQ(stm::atomically([&](stm::Tx& tx) { return p.read(tx); }), &dummy);
+}
+
+TEST_P(StmBasicTest, BoolFieldRoundTrips) {
+  stm::TxField<bool> f(false);
+  stm::atomically([&](stm::Tx& tx) { f.write(tx, true); });
+  EXPECT_TRUE(stm::atomically([&](stm::Tx& tx) { return f.read(tx); }));
+}
+
+enum class Flag : std::uint8_t { No, Yes, ByLeftRot };
+
+TEST_P(StmBasicTest, EnumFieldRoundTrips) {
+  stm::TxField<Flag> f(Flag::No);
+  stm::atomically([&](stm::Tx& tx) { f.write(tx, Flag::ByLeftRot); });
+  EXPECT_EQ(stm::atomically([&](stm::Tx& tx) { return f.read(tx); }),
+            Flag::ByLeftRot);
+}
+
+TEST_P(StmBasicTest, NegativeIntegersSurviveCodec) {
+  stm::TxField<std::int64_t> x(-5);
+  EXPECT_EQ(stm::atomically([&](stm::Tx& tx) { return x.read(tx); }), -5);
+  stm::atomically([&](stm::Tx& tx) { x.write(tx, -123456789); });
+  EXPECT_EQ(x.loadRelaxed(), -123456789);
+}
+
+TEST_P(StmBasicTest, StatsCountCommitsAndAborts) {
+  stm::threadStats().reset();
+  stm::TxField<std::int64_t> x(0);
+  int attempts = 0;
+  stm::atomically([&](stm::Tx& tx) {
+    ++attempts;
+    x.write(tx, attempts);
+    if (attempts < 3) tx.restart();
+  });
+  const auto& s = stm::threadStats();
+  EXPECT_EQ(s.aborts, 2u);
+  EXPECT_GE(s.commits, 1u);
+}
+
+TEST_P(StmBasicTest, OperationBracketAccumulatesReadsAcrossRetries) {
+  stm::threadStats().reset();
+  stm::TxField<std::int64_t> x(0);
+  auto& stats = stm::threadStats();
+  stats.beginOp();
+  int attempts = 0;
+  stm::atomically([&](stm::Tx& tx) {
+    ++attempts;
+    (void)x.read(tx);
+    if (attempts == 1) tx.restart();
+  });
+  stats.endOp();
+  // One read per attempt, two attempts.
+  EXPECT_EQ(stats.maxOpReads, 2u);
+  EXPECT_EQ(stats.ops, 1u);
+}
+
+TEST_P(StmBasicTest, UreadsAreNotCountedAsTransactionalReads) {
+  stm::threadStats().reset();
+  stm::TxField<std::int64_t> x(0);
+  auto& stats = stm::threadStats();
+  stats.beginOp();
+  stm::atomically([&](stm::Tx& tx) {
+    (void)x.uread(tx);
+    (void)x.uread(tx);
+    (void)x.read(tx);
+  });
+  stats.endOp();
+  EXPECT_EQ(stats.maxOpReads, 1u);
+  EXPECT_EQ(stats.ureads, 2u);
+}
+
+TEST_P(StmBasicTest, ManySequentialTransactions) {
+  stm::TxField<std::int64_t> x(0);
+  for (int i = 0; i < 1000; ++i) {
+    stm::atomically([&](stm::Tx& tx) { x.write(tx, x.read(tx) + 1); });
+  }
+  EXPECT_EQ(x.loadRelaxed(), 1000);
+}
+
+TEST_P(StmBasicTest, WritesToManyFieldsCommitAtomically) {
+  constexpr int kFields = 100;
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (int i = 0; i < kFields; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(0));
+  }
+  stm::atomically([&](stm::Tx& tx) {
+    for (int i = 0; i < kFields; ++i) fields[i]->write(tx, i);
+  });
+  for (int i = 0; i < kFields; ++i) EXPECT_EQ(fields[i]->loadRelaxed(), i);
+}
+
+TEST_P(StmBasicTest, InTransactionReflectsState) {
+  EXPECT_FALSE(stm::inTransaction());
+  stm::atomically([&](stm::Tx&) { EXPECT_TRUE(stm::inTransaction()); });
+  EXPECT_FALSE(stm::inTransaction());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LockModes, StmBasicTest,
+    ::testing::Values(
+        LockModeCase{stm::LockMode::Lazy, stm::TmBackend::Orec, "ctl"},
+        LockModeCase{stm::LockMode::Eager, stm::TmBackend::Orec, "etl"},
+        LockModeCase{stm::LockMode::Lazy, stm::TmBackend::NOrec, "norec"}),
+    [](const ::testing::TestParamInfo<LockModeCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace

@@ -1,0 +1,250 @@
+// Elastic transaction semantics (E-STM equivalent): hand-over-hand windows,
+// cuts on traversal, fallback to normal behaviour after the first write.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+namespace stm = sftree::stm;
+
+namespace {
+
+class StmElasticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  }
+};
+
+// A rendezvous helper: lets the test thread run a foreign mutation exactly
+// once at a chosen point inside another thread's transaction attempt.
+class OneShot {
+ public:
+  void fire() {
+    std::lock_guard<std::mutex> lk(mu_);
+    fired_ = true;
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return fired_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool fired_ = false;
+};
+
+TEST_F(StmElasticTest, ElasticReadOnlyCommits) {
+  stm::TxField<std::int64_t> x(5);
+  const auto v = stm::atomically(stm::TxKind::Elastic,
+                                 [&](stm::Tx& tx) { return x.read(tx); });
+  EXPECT_EQ(v, 5);
+}
+
+TEST_F(StmElasticTest, ElasticWriteCommits) {
+  stm::TxField<std::int64_t> x(5);
+  stm::atomically(stm::TxKind::Elastic, [&](stm::Tx& tx) {
+    x.write(tx, x.read(tx) + 1);
+  });
+  EXPECT_EQ(x.loadRelaxed(), 6);
+}
+
+// The defining elastic behaviour: a traversal's *old* reads may be
+// invalidated by concurrent commits without aborting the traversal, because
+// the window has slid past them (they were "cut").
+TEST_F(StmElasticTest, OldReadsMayBeOverwrittenWithoutAbort) {
+  constexpr int kFields = 16;
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (int i = 0; i < kFields; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(i));
+  }
+
+  OneShot firstReadsDone;
+  OneShot mutationDone;
+  std::atomic<int> attempts{0};
+
+  std::thread traverser([&] {
+    stm::atomically(stm::TxKind::Elastic, [&](stm::Tx& tx) {
+      const int attempt = attempts.fetch_add(1) + 1;
+      std::int64_t sum = 0;
+      // Read the first few fields, then let the mutator overwrite field 0
+      // (already outside the window by then), then keep traversing.
+      for (int i = 0; i < 4; ++i) sum += fields[i]->read(tx);
+      if (attempt == 1) {
+        firstReadsDone.fire();
+        mutationDone.wait();
+      }
+      for (int i = 4; i < kFields; ++i) sum += fields[i]->read(tx);
+      return sum;
+    });
+  });
+
+  firstReadsDone.wait();
+  stm::atomically([&](stm::Tx& tx) { fields[0]->write(tx, 1000); });
+  mutationDone.fire();
+  traverser.join();
+
+  // The elastic traversal must have committed on the first attempt even
+  // though its very first read became stale.
+  EXPECT_EQ(attempts.load(), 1);
+}
+
+// Control experiment: a *normal* transaction in the identical interleaving
+// must abort at least once (the stale read is still in its read set).
+TEST_F(StmElasticTest, NormalTransactionAbortsInSameScenario) {
+  constexpr int kFields = 16;
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (int i = 0; i < kFields; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(i));
+  }
+
+  OneShot firstReadsDone;
+  OneShot mutationDone;
+  std::atomic<int> attempts{0};
+
+  std::thread traverser([&] {
+    stm::atomically([&](stm::Tx& tx) {
+      const int attempt = attempts.fetch_add(1) + 1;
+      std::int64_t sum = 0;
+      for (int i = 0; i < 4; ++i) sum += fields[i]->read(tx);
+      if (attempt == 1) {
+        firstReadsDone.fire();
+        mutationDone.wait();
+      }
+      for (int i = 4; i < kFields; ++i) sum += fields[i]->read(tx);
+      // Force a commit-time validation by writing something.
+      fields[kFields - 1]->write(tx, sum);
+      return sum;
+    });
+  });
+
+  firstReadsDone.wait();
+  stm::atomically([&](stm::Tx& tx) { fields[0]->write(tx, 1000); });
+  mutationDone.fire();
+  traverser.join();
+
+  EXPECT_GE(attempts.load(), 2);
+}
+
+// A mutation of the *most recent* read must still abort the elastic
+// transaction: the window keeps hand-over-hand consistency.
+TEST_F(StmElasticTest, RecentReadInvalidationAborts) {
+  stm::TxField<std::int64_t> a(1);
+  stm::TxField<std::int64_t> b(2);
+
+  OneShot readDone;
+  OneShot mutationDone;
+  std::atomic<int> attempts{0};
+
+  std::thread traverser([&] {
+    stm::atomically(stm::TxKind::Elastic, [&](stm::Tx& tx) {
+      const int attempt = attempts.fetch_add(1) + 1;
+      const auto va = a.read(tx);  // stays in the 2-entry window
+      if (attempt == 1) {
+        readDone.fire();
+        mutationDone.wait();
+      }
+      const auto vb = b.read(tx);  // validates the window -> must abort
+      return va + vb;
+    });
+  });
+
+  readDone.wait();
+  stm::atomically([&](stm::Tx& tx) { a.write(tx, 100); });
+  mutationDone.fire();
+  traverser.join();
+
+  EXPECT_GE(attempts.load(), 2);
+}
+
+// After the first write the elastic transaction is normal: the reads still
+// in its window at write time must remain valid through commit.
+TEST_F(StmElasticTest, WindowBecomesStickyAfterWrite) {
+  stm::TxField<std::int64_t> a(1);
+  stm::TxField<std::int64_t> target(0);
+
+  OneShot writeDone;
+  OneShot mutationDone;
+  std::atomic<int> attempts{0};
+
+  std::thread updater([&] {
+    stm::atomically(stm::TxKind::Elastic, [&](stm::Tx& tx) {
+      const int attempt = attempts.fetch_add(1) + 1;
+      const auto va = a.read(tx);
+      target.write(tx, va);  // folds the window into the read set
+      if (attempt == 1) {
+        writeDone.fire();
+        mutationDone.wait();
+      }
+    });
+  });
+
+  writeDone.wait();
+  stm::atomically([&](stm::Tx& tx) { a.write(tx, 55); });
+  mutationDone.fire();
+  updater.join();
+
+  EXPECT_GE(attempts.load(), 2);
+  // The retry read the new value.
+  EXPECT_EQ(target.loadRelaxed(), 55);
+}
+
+TEST_F(StmElasticTest, ElasticCutsAreCounted) {
+  stm::Runtime::instance().resetStats();
+  constexpr int kFields = 10;
+  std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
+  for (int i = 0; i < kFields; ++i) {
+    fields.push_back(std::make_unique<stm::TxField<std::int64_t>>(i));
+  }
+  stm::atomically(stm::TxKind::Elastic, [&](stm::Tx& tx) {
+    std::int64_t sum = 0;
+    for (auto& f : fields) sum += f->read(tx);
+    return sum;
+  });
+  // With a window of 2, reading 10 fields slides the window 8 times.
+  EXPECT_EQ(stm::threadStats().elasticCuts, 8u);
+}
+
+TEST_F(StmElasticTest, ElasticStressKeepsInvariant) {
+  // Writers shift value between cells; elastic traversals verify that the
+  // values of *adjacent* cells (inside one window) are consistent pairs.
+  // We encode the pair-consistency as both cells updated in one tx.
+  stm::TxField<std::int64_t> a(0);
+  stm::TxField<std::int64_t> b(0);
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+
+  std::thread writer([&] {
+    for (std::int64_t i = 1; i <= 20000; ++i) {
+      stm::atomically([&](stm::Tx& tx) {
+        a.write(tx, i);
+        b.write(tx, i);
+      });
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto [x, y] =
+          stm::atomically(stm::TxKind::Elastic, [&](stm::Tx& tx) {
+            const auto va = a.read(tx);
+            const auto vb = b.read(tx);  // window holds both reads
+            return std::pair{va, vb};
+          });
+      if (x != y) mismatches.fetch_add(1);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// NOrec-backend-specific semantics: the global sequence lock, value-based
+// validation (ABA tolerance — the observable difference from the orec
+// backend), and interaction with unit loads and hooks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "stm/stm.hpp"
+
+namespace stm = sftree::stm;
+
+namespace {
+
+class StmNorecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cfg = stm::Runtime::instance().config();
+    cfg.backend = stm::TmBackend::NOrec;
+    stm::Runtime::instance().setConfig(cfg);
+  }
+  void TearDown() override {
+    auto cfg = stm::Runtime::instance().config();
+    cfg.backend = stm::TmBackend::Orec;
+    stm::Runtime::instance().setConfig(cfg);
+  }
+};
+
+class OneShot {
+ public:
+  void fire() {
+    std::lock_guard<std::mutex> lk(mu_);
+    fired_ = true;
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return fired_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool fired_ = false;
+};
+
+TEST_F(StmNorecTest, SequenceLockAdvancesByTwoPerWriterCommit) {
+  auto& seq = stm::Runtime::instance().norecSeq();
+  stm::TxField<std::int64_t> x(0);
+  const auto before = seq.load();
+  stm::atomically([&](stm::Tx& tx) { x.write(tx, 1); });
+  const auto after = seq.load();
+  EXPECT_EQ(after, before + 2);
+  EXPECT_EQ(after % 2, 0u);
+}
+
+TEST_F(StmNorecTest, ReadOnlyCommitDoesNotTouchSequenceLock) {
+  auto& seq = stm::Runtime::instance().norecSeq();
+  stm::TxField<std::int64_t> x(7);
+  const auto before = seq.load();
+  stm::atomically([&](stm::Tx& tx) { (void)x.read(tx); });
+  EXPECT_EQ(seq.load(), before);
+}
+
+// Value-based validation tolerates ABA: a concurrent writer changes a read
+// location and changes it back; the reader's revalidation compares values,
+// so it commits without a retry. (The orec backend would abort here: the
+// version moved.)
+TEST_F(StmNorecTest, AbaIsToleratedByValueValidation) {
+  stm::TxField<std::int64_t> x(1);
+  stm::TxField<std::int64_t> y(0);
+  OneShot readDone;
+  OneShot abaDone;
+  std::atomic<int> attempts{0};
+
+  std::thread reader([&] {
+    const auto sum = stm::atomically([&](stm::Tx& tx) {
+      const int attempt = attempts.fetch_add(1) + 1;
+      const auto vx = x.read(tx);
+      if (attempt == 1) {
+        readDone.fire();
+        abaDone.wait();
+      }
+      // This read triggers revalidation (the sequence number moved), which
+      // re-reads x by value: still 1, so no abort.
+      const auto vy = y.read(tx);
+      return vx + vy;
+    });
+    EXPECT_EQ(sum, 1);
+  });
+
+  readDone.wait();
+  stm::atomically([&](stm::Tx& tx) { x.write(tx, 2); });
+  stm::atomically([&](stm::Tx& tx) { x.write(tx, 1); });  // back to original
+  abaDone.fire();
+  reader.join();
+  EXPECT_EQ(attempts.load(), 1);  // no retry despite the intervening commits
+}
+
+// And the control: a *lasting* change to a read location must abort.
+TEST_F(StmNorecTest, LastingChangeAborts) {
+  stm::TxField<std::int64_t> x(1);
+  stm::TxField<std::int64_t> y(0);
+  OneShot readDone;
+  OneShot changeDone;
+  std::atomic<int> attempts{0};
+
+  std::thread reader([&] {
+    stm::atomically([&](stm::Tx& tx) {
+      const int attempt = attempts.fetch_add(1) + 1;
+      (void)x.read(tx);
+      if (attempt == 1) {
+        readDone.fire();
+        changeDone.wait();
+      }
+      (void)y.read(tx);
+    });
+  });
+
+  readDone.wait();
+  stm::atomically([&](stm::Tx& tx) { x.write(tx, 2); });
+  changeDone.fire();
+  reader.join();
+  EXPECT_GE(attempts.load(), 2);
+}
+
+TEST_F(StmNorecTest, WriterSerializationIsTotal) {
+  stm::TxField<std::int64_t> x(0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stm::atomically([&](stm::Tx& tx) { x.write(tx, x.read(tx) + 1); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(x.loadRelaxed(), kThreads * kPerThread);
+}
+
+TEST_F(StmNorecTest, UreadNeverSeesTornCommit) {
+  stm::TxField<std::int64_t> a(0);
+  stm::TxField<std::int64_t> b(0);
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  std::thread writer([&] {
+    for (std::int64_t i = 1; i <= 15000; ++i) {
+      stm::atomically([&](stm::Tx& tx) {
+        a.write(tx, i);
+        b.write(tx, i);
+      });
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // Transactional reads must give a consistent pair.
+      const auto [va, vb] = stm::atomically([&](stm::Tx& tx) {
+        return std::pair{a.read(tx), b.read(tx)};
+      });
+      if (va != vb) anomalies.fetch_add(1);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+TEST_F(StmNorecTest, ElasticRequestsFallBackToNormal) {
+  // NOrec has no per-location metadata for windows; elastic transactions
+  // must still be correct (they run as normal transactions).
+  stm::TxField<std::int64_t> x(3);
+  const auto v = stm::atomically(stm::TxKind::Elastic,
+                                 [&](stm::Tx& tx) { return x.read(tx); });
+  EXPECT_EQ(v, 3);
+  stm::atomically(stm::TxKind::Elastic,
+                  [&](stm::Tx& tx) { x.write(tx, x.read(tx) + 1); });
+  EXPECT_EQ(x.loadRelaxed(), 4);
+}
+
+TEST_F(StmNorecTest, CommitHooksAndAllocsWork) {
+  stm::TxField<std::int64_t> x(0);
+  int hookRuns = 0;
+  int attempts = 0;
+  stm::atomically([&](stm::Tx& tx) {
+    ++attempts;
+    x.write(tx, 1);
+    tx.onCommit([&] { ++hookRuns; });
+    if (attempts == 1) tx.restart();
+  });
+  EXPECT_EQ(hookRuns, 1);
+}
+
+}  // namespace

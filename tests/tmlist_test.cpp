@@ -1,0 +1,138 @@
+// Transactional linked list tests (vacation substrate).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "bench_core/rng.hpp"
+#include "stm/stm.hpp"
+#include "structures/tmlist.hpp"
+
+namespace stm = sftree::stm;
+using sftree::Key;
+using sftree::bench::Rng;
+using sftree::structures::TMList;
+
+namespace {
+
+TEST(TMListTest, InsertAndLookup) {
+  TMList list;
+  EXPECT_TRUE(list.insert(3, 30));
+  EXPECT_TRUE(list.insert(1, 10));
+  EXPECT_TRUE(list.insert(2, 20));
+  EXPECT_FALSE(list.insert(2, 99));
+  EXPECT_EQ(list.get(2), 20);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(TMListTest, ItemsAreSorted) {
+  TMList list;
+  for (Key k : {5, 1, 4, 2, 3}) list.insert(k, 10 * k);
+  const auto items = list.items();
+  ASSERT_EQ(items.size(), 5u);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].first, static_cast<Key>(i + 1));
+    EXPECT_EQ(items[i].second, 10 * static_cast<Key>(i + 1));
+  }
+}
+
+TEST(TMListTest, EraseHeadMiddleTail) {
+  TMList list;
+  for (Key k : {1, 2, 3, 4}) list.insert(k, k);
+  EXPECT_TRUE(list.erase(1));  // head
+  EXPECT_TRUE(list.erase(3));  // middle
+  EXPECT_TRUE(list.erase(4));  // tail
+  EXPECT_FALSE(list.erase(9));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.contains(2));
+}
+
+TEST(TMListTest, UpdateChangesValueInPlace) {
+  TMList list;
+  list.insert(1, 10);
+  stm::atomically([&](stm::Tx& tx) { EXPECT_TRUE(list.updateTx(tx, 1, 11)); });
+  EXPECT_EQ(list.get(1), 11);
+  stm::atomically([&](stm::Tx& tx) { EXPECT_FALSE(list.updateTx(tx, 2, 0)); });
+}
+
+TEST(TMListTest, ForEachVisitsInOrder) {
+  TMList list;
+  for (Key k : {3, 1, 2}) list.insert(k, k * 100);
+  std::vector<Key> seen;
+  stm::atomically([&](stm::Tx& tx) {
+    seen.clear();  // transaction may retry
+    list.forEachTx(tx, [&](Key k, sftree::Value v) {
+      EXPECT_EQ(v, k * 100);
+      seen.push_back(k);
+    });
+  });
+  EXPECT_EQ(seen, (std::vector<Key>{1, 2, 3}));
+}
+
+TEST(TMListTest, ComposesWithOtherListsAtomically) {
+  // Move an element between lists atomically; a concurrent observer must
+  // always see exactly one copy in the union.
+  TMList a;
+  TMList b;
+  a.insert(7, 70);
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  std::thread mover([&] {
+    for (int i = 0; i < 4000; ++i) {
+      stm::atomically([&](stm::Tx& tx) {
+        if (a.containsTx(tx, 7)) {
+          a.eraseTx(tx, 7);
+          b.insertTx(tx, 7, 70);
+        } else {
+          b.eraseTx(tx, 7);
+          a.insertTx(tx, 7, 70);
+        }
+      });
+    }
+    stop.store(true);
+  });
+  std::thread observer([&] {
+    while (!stop.load()) {
+      const int copies = stm::atomically([&](stm::Tx& tx) {
+        return (a.containsTx(tx, 7) ? 1 : 0) + (b.containsTx(tx, 7) ? 1 : 0);
+      });
+      if (copies != 1) anomalies.fetch_add(1);
+    }
+  });
+  mover.join();
+  observer.join();
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+TEST(TMListTest, ConcurrentDisjointInserts) {
+  TMList list;
+  constexpr int kThreads = 4;
+  constexpr Key kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (Key i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(list.insert(static_cast<Key>(t) * kPerThread + i, i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  const auto items = list.items();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LT(items[i - 1].first, items[i].first);
+  }
+}
+
+TEST(TMListTest, AbortedInsertDoesNotLeakOrPublish) {
+  TMList list;
+  int attempts = 0;
+  stm::atomically([&](stm::Tx& tx) {
+    ++attempts;
+    list.insertTx(tx, 42, 1);
+    if (attempts == 1) tx.restart();
+  });
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+}  // namespace

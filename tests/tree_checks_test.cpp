@@ -1,0 +1,152 @@
+// Self-tests for the invariant checkers: a checker that cannot detect a
+// violation proves nothing, so we build deliberately broken trees and
+// expect each check to fire.
+#include <gtest/gtest.h>
+
+#include "trees/tree_checks.hpp"
+
+namespace trees = sftree::trees;
+using sftree::Key;
+
+namespace {
+
+// --- SF tree -----------------------------------------------------------------
+
+TEST(TreeChecksSelfTest, SFDetectsBstViolation) {
+  trees::SFTreeConfig cfg;
+  cfg.startMaintenance = false;
+  trees::SFTree tree(cfg);
+  tree.insert(10, 1);
+  tree.insert(5, 1);
+  // Corrupt: hang a too-large key under the left child.
+  auto* root = tree.rootForTest();
+  auto* n10 = root->left.loadRelaxed();
+  auto* n5 = n10->left.loadRelaxed();
+  auto* evil = new trees::SFNode(999, 0);
+  n5->left.storeRelaxed(evil);
+  const auto r = trees::checkSFTree(tree);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("BST violation"), std::string::npos);
+  n5->left.storeRelaxed(nullptr);  // undo so the destructor walk is clean
+  delete evil;
+}
+
+TEST(TreeChecksSelfTest, SFDetectsReachableRemovedNode) {
+  trees::SFTreeConfig cfg;
+  cfg.startMaintenance = false;
+  trees::SFTree tree(cfg);
+  tree.insert(10, 1);
+  auto* n10 = tree.rootForTest()->left.loadRelaxed();
+  n10->removed.storeRelaxed(trees::RemState::Removed);
+  EXPECT_FALSE(trees::checkSFTree(tree).ok);
+  n10->removed.storeRelaxed(trees::RemState::NotRemoved);
+  EXPECT_TRUE(trees::checkSFTree(tree).ok);
+}
+
+// --- red-black ----------------------------------------------------------------
+
+TEST(TreeChecksSelfTest, RBDetectsRedRedViolation) {
+  trees::RBTree tree;
+  for (Key k : {20, 10, 30}) tree.insert(k, k);
+  ASSERT_TRUE(trees::checkRBTree(tree).ok);
+  // Force a red node to have a red child.
+  auto* root = tree.rootForTest();
+  root->color.storeRelaxed(trees::RBColor::Black);
+  auto* l = root->left.loadRelaxed();
+  ASSERT_NE(l, nullptr);
+  l->color.storeRelaxed(trees::RBColor::Red);
+  auto* evil = new trees::RBNode(5, 0);  // fresh nodes are red
+  evil->parent.storeRelaxed(l);
+  l->left.storeRelaxed(evil);
+  const auto r = trees::checkRBTree(tree);
+  EXPECT_FALSE(r.ok);
+  l->left.storeRelaxed(nullptr);
+  delete evil;
+}
+
+TEST(TreeChecksSelfTest, RBDetectsBlackHeightMismatch) {
+  trees::RBTree tree;
+  for (Key k : {20, 10, 30}) tree.insert(k, k);
+  // Make one side artificially black-deeper.
+  auto* root = tree.rootForTest();
+  auto* l = root->left.loadRelaxed();
+  auto* evil = new trees::RBNode(5, 0);
+  evil->color.storeRelaxed(trees::RBColor::Black);
+  evil->parent.storeRelaxed(l);
+  l->left.storeRelaxed(evil);
+  const auto r = trees::checkRBTree(tree);
+  EXPECT_FALSE(r.ok);
+  l->left.storeRelaxed(nullptr);
+  delete evil;
+}
+
+TEST(TreeChecksSelfTest, RBDetectsParentPointerCorruption) {
+  trees::RBTree tree;
+  for (Key k : {20, 10, 30}) tree.insert(k, k);
+  auto* root = tree.rootForTest();
+  auto* l = root->left.loadRelaxed();
+  l->parent.storeRelaxed(l);  // self-parent
+  EXPECT_FALSE(trees::checkRBTree(tree).ok);
+  l->parent.storeRelaxed(root);
+  EXPECT_TRUE(trees::checkRBTree(tree).ok);
+}
+
+TEST(TreeChecksSelfTest, RBDetectsRedRoot) {
+  trees::RBTree tree;
+  tree.insert(1, 1);
+  tree.rootForTest()->color.storeRelaxed(trees::RBColor::Red);
+  EXPECT_FALSE(trees::checkRBTree(tree).ok);
+  tree.rootForTest()->color.storeRelaxed(trees::RBColor::Black);
+}
+
+// --- AVL -----------------------------------------------------------------------
+
+TEST(TreeChecksSelfTest, AVLDetectsWrongStoredHeight) {
+  trees::AVLTree tree;
+  for (Key k : {20, 10, 30}) tree.insert(k, k);
+  ASSERT_TRUE(trees::checkAVLTree(tree).ok);
+  tree.rootForTest()->height.storeRelaxed(99);
+  const auto r = trees::checkAVLTree(tree);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("stored height"), std::string::npos);
+  tree.rootForTest()->height.storeRelaxed(2);
+}
+
+TEST(TreeChecksSelfTest, AVLDetectsImbalance) {
+  trees::AVLTree tree;
+  for (Key k : {20, 10, 30}) tree.insert(k, k);
+  // Graft a deep chain under the left child without rebalancing.
+  auto* root = tree.rootForTest();
+  auto* l = root->left.loadRelaxed();
+  auto* a = new trees::AVLNode(5, 0);
+  auto* b = new trees::AVLNode(3, 0);
+  a->left.storeRelaxed(b);
+  a->height.storeRelaxed(2);
+  l->left.storeRelaxed(a);
+  l->height.storeRelaxed(3);
+  root->height.storeRelaxed(4);
+  const auto r = trees::checkAVLTree(tree);
+  EXPECT_FALSE(r.ok);
+  l->left.storeRelaxed(nullptr);
+  delete b;
+  delete a;
+}
+
+TEST(TreeChecksSelfTest, ValidTreesPassAllChecks) {
+  trees::SFTreeConfig cfg;
+  cfg.startMaintenance = false;
+  trees::SFTree sf(cfg);
+  trees::RBTree rb;
+  trees::AVLTree avl;
+  for (Key k : {8, 4, 12, 2, 6, 10, 14}) {
+    sf.insert(k, k);
+    rb.insert(k, k);
+    avl.insert(k, k);
+  }
+  sf.quiesceNow();
+  EXPECT_TRUE(trees::checkSFTree(sf).ok);
+  EXPECT_TRUE(trees::checkRBTree(rb).ok);
+  EXPECT_TRUE(trees::checkAVLTree(avl).ok);
+}
+
+}  // namespace

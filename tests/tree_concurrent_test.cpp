@@ -1,0 +1,281 @@
+// Concurrent correctness of every tree: per-key linearizability (successful
+// inserts/removes on one key must alternate), cross-thread visibility, and
+// structural sanity after contended runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_core/rng.hpp"
+#include "stm/stm.hpp"
+#include "trees/map_interface.hpp"
+
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+using sftree::Key;
+using sftree::bench::Rng;
+
+namespace {
+
+struct Scenario {
+  trees::MapKind kind;
+  stm::TxKind txKind;
+  stm::LockMode lockMode;
+  stm::TmBackend backend = stm::TmBackend::Orec;
+};
+
+std::string scenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  std::string name = trees::mapKindName(info.param.kind);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  name += info.param.txKind == stm::TxKind::Elastic ? "_elastic" : "_normal";
+  if (info.param.backend == stm::TmBackend::NOrec) {
+    name += "_norec";
+  } else {
+    name += info.param.lockMode == stm::LockMode::Eager ? "_etl" : "_ctl";
+  }
+  return name;
+}
+
+class TreeConcurrentTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    auto cfg = stm::Runtime::instance().config();
+    cfg.lockMode = GetParam().lockMode;
+    cfg.backend = GetParam().backend;
+    stm::Runtime::instance().setConfig(cfg);
+  }
+  void TearDown() override {
+    auto cfg = stm::Runtime::instance().config();
+    cfg.lockMode = stm::LockMode::Lazy;
+    cfg.backend = stm::TmBackend::Orec;
+    stm::Runtime::instance().setConfig(cfg);
+  }
+
+  std::unique_ptr<trees::ITransactionalMap> makeMap() {
+    return trees::makeMap(GetParam().kind, GetParam().txKind);
+  }
+};
+
+// Threads hammer a small key range; for every key the number of successful
+// inserts minus successful removes must be 0 or 1 and must equal the final
+// membership — only a linearizable set can satisfy this for all keys.
+TEST_P(TreeConcurrentTest, PerKeyLinearizability) {
+  auto map = makeMap();
+  constexpr int kThreads = 4;
+  constexpr Key kRange = 64;
+  constexpr int kOpsPerThread = 8000;
+
+  std::vector<std::atomic<std::int64_t>> inserted(kRange);
+  std::vector<std::atomic<std::int64_t>> removed(kRange);
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      sync.arrive_and_wait();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Key k = static_cast<Key>(rng.nextBounded(kRange));
+        switch (rng.nextBounded(3)) {
+          case 0:
+            if (map->insert(k, k)) inserted[k].fetch_add(1);
+            break;
+          case 1:
+            if (map->erase(k)) removed[k].fetch_add(1);
+            break;
+          default:
+            map->contains(k);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  map->quiesce();
+
+  for (Key k = 0; k < kRange; ++k) {
+    const auto delta = inserted[k].load() - removed[k].load();
+    ASSERT_GE(delta, 0) << "key " << k;
+    ASSERT_LE(delta, 1) << "key " << k;
+    EXPECT_EQ(map->contains(k), delta == 1) << "key " << k;
+  }
+}
+
+// Disjoint key ranges per thread: each thread's final state must match a
+// sequential execution of its own operations exactly.
+TEST_P(TreeConcurrentTest, DisjointRangesMatchSequentialReplay) {
+  auto map = makeMap();
+  constexpr int kThreads = 4;
+  constexpr Key kPerThread = 256;
+  std::vector<std::vector<Key>> expected(kThreads);
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Key base = static_cast<Key>(t) * kPerThread;
+      Rng rng(500 + t);
+      std::vector<bool> present(kPerThread, false);
+      sync.arrive_and_wait();
+      for (int i = 0; i < 6000; ++i) {
+        const Key off = static_cast<Key>(rng.nextBounded(kPerThread));
+        const Key k = base + off;
+        if (rng.nextBool()) {
+          const bool ok = map->insert(k, k);
+          ASSERT_EQ(ok, !present[off]) << "insert " << k;
+          present[off] = true;
+        } else {
+          const bool ok = map->erase(k);
+          ASSERT_EQ(ok, present[off]) << "erase " << k;
+          present[off] = false;
+        }
+      }
+      for (Key off = 0; off < kPerThread; ++off) {
+        if (present[off]) expected[t].push_back(base + off);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  map->quiesce();
+
+  std::vector<Key> expectAll;
+  for (auto& v : expected) {
+    expectAll.insert(expectAll.end(), v.begin(), v.end());
+  }
+  std::sort(expectAll.begin(), expectAll.end());
+  EXPECT_EQ(map->keysInOrder(), expectAll);
+}
+
+// Readers must never see a key flicker while only unrelated keys change.
+TEST_P(TreeConcurrentTest, StableKeyNeverDisappears) {
+  auto map = makeMap();
+  constexpr Key kStable = 10'000;
+  map->insert(kStable, 1);
+  std::atomic<bool> stop{false};
+  std::atomic<int> misses{0};
+
+  std::thread churn([&] {
+    Rng rng(7);
+    while (!stop.load(std::memory_order_acquire)) {
+      const Key k = static_cast<Key>(rng.nextBounded(512));
+      if (rng.nextBool()) {
+        map->insert(k, k);
+      } else {
+        map->erase(k);
+      }
+    }
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 20000; ++i) {
+      if (!map->contains(kStable)) misses.fetch_add(1);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  reader.join();
+  EXPECT_EQ(misses.load(), 0);
+}
+
+// Composed moves between two halves of the key space: the total number of
+// keys must be conserved by every move.
+TEST_P(TreeConcurrentTest, ConcurrentMovesConserveKeys) {
+  auto map = makeMap();
+  constexpr Key kRange = 128;
+  std::int64_t initial = 0;
+  for (Key k = 0; k < kRange; k += 2) {
+    map->insert(k, k);
+    ++initial;
+  }
+  std::atomic<std::int64_t> netInserts{0};
+  constexpr int kThreads = 4;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(2222 + t);
+      sync.arrive_and_wait();
+      for (int i = 0; i < 4000; ++i) {
+        const Key a = static_cast<Key>(rng.nextBounded(kRange));
+        const Key b = static_cast<Key>(rng.nextBounded(kRange));
+        map->move(a, b);  // conserves cardinality whether it succeeds or not
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  map->quiesce();
+  EXPECT_EQ(map->size(),
+            static_cast<std::size_t>(initial + netInserts.load()));
+}
+
+// High-contention smoke: all threads target the same few keys, forcing
+// constant conflicts; the run must terminate (no livelock) and stay sane.
+TEST_P(TreeConcurrentTest, HotspotContention) {
+  auto map = makeMap();
+  constexpr int kThreads = 4;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(31 + t);
+      sync.arrive_and_wait();
+      for (int i = 0; i < 3000; ++i) {
+        const Key k = static_cast<Key>(rng.nextBounded(4));
+        if (rng.nextBool()) {
+          map->insert(k, t);
+        } else {
+          map->erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  map->quiesce();
+  EXPECT_LE(map->size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, TreeConcurrentTest,
+    ::testing::Values(
+        // All five trees under the default TM (CTL / normal).
+        Scenario{trees::MapKind::SFTree, stm::TxKind::Normal,
+                 stm::LockMode::Lazy},
+        Scenario{trees::MapKind::OptSFTree, stm::TxKind::Normal,
+                 stm::LockMode::Lazy},
+        Scenario{trees::MapKind::NRTree, stm::TxKind::Normal,
+                 stm::LockMode::Lazy},
+        Scenario{trees::MapKind::RBTree, stm::TxKind::Normal,
+                 stm::LockMode::Lazy},
+        Scenario{trees::MapKind::AVLTree, stm::TxKind::Normal,
+                 stm::LockMode::Lazy},
+        // Portability (paper §5.3): eager acquirement (TinySTM-ETL).
+        Scenario{trees::MapKind::OptSFTree, stm::TxKind::Normal,
+                 stm::LockMode::Eager},
+        Scenario{trees::MapKind::RBTree, stm::TxKind::Normal,
+                 stm::LockMode::Eager},
+        Scenario{trees::MapKind::SFTree, stm::TxKind::Normal,
+                 stm::LockMode::Eager},
+        // NOrec backend (portability: a TM with no per-location metadata).
+        Scenario{trees::MapKind::OptSFTree, stm::TxKind::Normal,
+                 stm::LockMode::Lazy, stm::TmBackend::NOrec},
+        Scenario{trees::MapKind::RBTree, stm::TxKind::Normal,
+                 stm::LockMode::Lazy, stm::TmBackend::NOrec},
+        Scenario{trees::MapKind::SFTree, stm::TxKind::Normal,
+                 stm::LockMode::Lazy, stm::TmBackend::NOrec},
+        // Elastic transactions (E-STM).
+        Scenario{trees::MapKind::SFTree, stm::TxKind::Elastic,
+                 stm::LockMode::Lazy},
+        Scenario{trees::MapKind::OptSFTree, stm::TxKind::Elastic,
+                 stm::LockMode::Lazy},
+        Scenario{trees::MapKind::RBTree, stm::TxKind::Elastic,
+                 stm::LockMode::Lazy},
+        Scenario{trees::MapKind::AVLTree, stm::TxKind::Elastic,
+                 stm::LockMode::Lazy}),
+    scenarioName);
+
+}  // namespace

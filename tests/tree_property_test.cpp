@@ -1,0 +1,127 @@
+// Property-style sweeps: randomized workloads across (tree kind x seed)
+// checked against std::map, with structural invariants validated at
+// checkpoints. TEST_P keeps each (kind, seed) combination an independent
+// test case.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "bench_core/rng.hpp"
+#include "trees/map_interface.hpp"
+#include "trees/tree_checks.hpp"
+
+namespace trees = sftree::trees;
+using sftree::Key;
+using sftree::bench::Rng;
+
+namespace {
+
+using PropertyParam = std::tuple<trees::MapKind, int /*seed*/>;
+
+class TreePropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(TreePropertyTest, RandomOpsMatchReferenceWithPeriodicQuiesce) {
+  const auto [kind, seed] = GetParam();
+  auto map = trees::makeMap(kind);
+  std::map<Key, sftree::Value> reference;
+  Rng rng(1000 + seed * 77);
+  constexpr int kOps = 4000;
+  const Key range = 128 + 64 * seed;  // different densities per seed
+
+  for (int i = 0; i < kOps; ++i) {
+    const Key k = static_cast<Key>(rng.nextBounded(
+        static_cast<std::uint64_t>(range)));
+    switch (rng.nextBounded(6)) {
+      case 0:
+      case 1: {
+        const bool expect = reference.emplace(k, k).second;
+        ASSERT_EQ(map->insert(k, k), expect) << "op " << i;
+        break;
+      }
+      case 2:
+      case 3: {
+        const bool expect = reference.erase(k) > 0;
+        ASSERT_EQ(map->erase(k), expect) << "op " << i;
+        break;
+      }
+      case 4: {
+        ASSERT_EQ(map->contains(k), reference.count(k) > 0) << "op " << i;
+        break;
+      }
+      default: {
+        Key hi = k + static_cast<Key>(rng.nextBounded(32));
+        const auto expect = static_cast<std::size_t>(std::distance(
+            reference.lower_bound(k), reference.upper_bound(hi)));
+        ASSERT_EQ(map->countRange(k, hi), expect) << "op " << i;
+        break;
+      }
+    }
+    if (i % 1000 == 999) {
+      map->quiesce();
+      std::vector<Key> expectKeys;
+      for (const auto& [key, v] : reference) expectKeys.push_back(key);
+      ASSERT_EQ(map->keysInOrder(), expectKeys) << "checkpoint at op " << i;
+    }
+  }
+  map->quiesce();
+  EXPECT_EQ(map->size(), reference.size());
+}
+
+std::string propertyName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name = trees::mapKindName(std::get<0>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreePropertyTest,
+    ::testing::Combine(::testing::ValuesIn(trees::allMapKinds()),
+                       ::testing::Values(1, 2, 3, 4)),
+    propertyName);
+
+// --- invariants after adversarial shapes, per tree kind ---------------------
+
+class AdversarialShapeTest : public ::testing::TestWithParam<trees::MapKind> {};
+
+TEST_P(AdversarialShapeTest, SawtoothInsertionsStaySane) {
+  auto map = trees::makeMap(GetParam());
+  // Alternate low/high keys: the worst zig-zag shape for naive rotations.
+  for (Key i = 0; i < 256; ++i) {
+    ASSERT_TRUE(map->insert(i, i));
+    ASSERT_TRUE(map->insert(1000 - i, i));
+  }
+  map->quiesce();
+  EXPECT_EQ(map->size(), 512u);
+  EXPECT_TRUE(map->contains(0));
+  EXPECT_TRUE(map->contains(1000));
+}
+
+TEST_P(AdversarialShapeTest, DeleteAllThenReuse) {
+  auto map = trees::makeMap(GetParam());
+  for (int round = 0; round < 3; ++round) {
+    for (Key k = 0; k < 200; ++k) ASSERT_TRUE(map->insert(k, round));
+    for (Key k = 0; k < 200; ++k) ASSERT_TRUE(map->erase(k));
+    map->quiesce();
+    ASSERT_EQ(map->size(), 0u) << "round " << round;
+  }
+  // The structure is still usable after churn.
+  ASSERT_TRUE(map->insert(5, 5));
+  EXPECT_EQ(map->get(5), 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrees, AdversarialShapeTest,
+    ::testing::ValuesIn(trees::allMapKinds()),
+    [](const ::testing::TestParamInfo<trees::MapKind>& info) {
+      std::string name = trees::mapKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Sequential semantics of every tree behind the map interface, checked
+// against std::map as the reference implementation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_core/rng.hpp"
+#include "trees/map_interface.hpp"
+
+namespace trees = sftree::trees;
+using sftree::Key;
+using sftree::bench::Rng;
+
+namespace {
+
+class TreeSequentialTest : public ::testing::TestWithParam<trees::MapKind> {
+ protected:
+  std::unique_ptr<trees::ITransactionalMap> makeMap() {
+    return trees::makeMap(GetParam());
+  }
+};
+
+TEST_P(TreeSequentialTest, EmptyMapBehaviour) {
+  auto map = makeMap();
+  EXPECT_FALSE(map->contains(1));
+  EXPECT_FALSE(map->erase(1));
+  EXPECT_EQ(map->get(1), std::nullopt);
+  EXPECT_EQ(map->size(), 0u);
+  EXPECT_TRUE(map->keysInOrder().empty());
+}
+
+TEST_P(TreeSequentialTest, InsertThenContains) {
+  auto map = makeMap();
+  EXPECT_TRUE(map->insert(5, 50));
+  EXPECT_TRUE(map->contains(5));
+  EXPECT_EQ(map->get(5), 50);
+  EXPECT_FALSE(map->contains(4));
+}
+
+TEST_P(TreeSequentialTest, DuplicateInsertFails) {
+  auto map = makeMap();
+  EXPECT_TRUE(map->insert(5, 50));
+  EXPECT_FALSE(map->insert(5, 51));
+  // Set semantics: the original value is preserved on failed insert.
+  EXPECT_EQ(map->get(5), 50);
+}
+
+TEST_P(TreeSequentialTest, EraseThenGone) {
+  auto map = makeMap();
+  EXPECT_TRUE(map->insert(5, 50));
+  EXPECT_TRUE(map->erase(5));
+  EXPECT_FALSE(map->contains(5));
+  EXPECT_FALSE(map->erase(5));
+  EXPECT_EQ(map->get(5), std::nullopt);
+}
+
+TEST_P(TreeSequentialTest, ReinsertAfterErase) {
+  auto map = makeMap();
+  EXPECT_TRUE(map->insert(5, 50));
+  EXPECT_TRUE(map->erase(5));
+  EXPECT_TRUE(map->insert(5, 55));
+  EXPECT_EQ(map->get(5), 55);
+}
+
+TEST_P(TreeSequentialTest, KeysComeOutSorted) {
+  auto map = makeMap();
+  for (Key k : {7, 3, 9, 1, 5, 8, 2}) EXPECT_TRUE(map->insert(k, k));
+  EXPECT_EQ(map->keysInOrder(), (std::vector<Key>{1, 2, 3, 5, 7, 8, 9}));
+}
+
+TEST_P(TreeSequentialTest, AscendingInsertionWorks) {
+  auto map = makeMap();
+  for (Key k = 0; k < 512; ++k) EXPECT_TRUE(map->insert(k, 2 * k));
+  for (Key k = 0; k < 512; ++k) EXPECT_EQ(map->get(k), 2 * k);
+  EXPECT_EQ(map->size(), 512u);
+}
+
+TEST_P(TreeSequentialTest, DescendingInsertionWorks) {
+  auto map = makeMap();
+  for (Key k = 511; k >= 0; --k) EXPECT_TRUE(map->insert(k, k));
+  EXPECT_EQ(map->size(), 512u);
+  EXPECT_TRUE(map->contains(0));
+  EXPECT_TRUE(map->contains(511));
+}
+
+TEST_P(TreeSequentialTest, EraseEverythingInRandomOrder) {
+  auto map = makeMap();
+  std::vector<Key> keys;
+  for (Key k = 0; k < 256; ++k) {
+    keys.push_back(k);
+    map->insert(k, k);
+  }
+  Rng rng(99);
+  for (std::size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.nextBounded(i)]);
+  }
+  for (Key k : keys) EXPECT_TRUE(map->erase(k));
+  EXPECT_EQ(map->size(), 0u);
+  EXPECT_TRUE(map->keysInOrder().empty());
+}
+
+TEST_P(TreeSequentialTest, MoveRelocatesValue) {
+  auto map = makeMap();
+  map->insert(1, 100);
+  EXPECT_TRUE(map->move(1, 2));
+  EXPECT_FALSE(map->contains(1));
+  EXPECT_EQ(map->get(2), 100);
+}
+
+TEST_P(TreeSequentialTest, MoveFailsWhenSourceMissing) {
+  auto map = makeMap();
+  EXPECT_FALSE(map->move(1, 2));
+  EXPECT_FALSE(map->contains(2));
+}
+
+TEST_P(TreeSequentialTest, MoveFailsWhenDestinationOccupied) {
+  auto map = makeMap();
+  map->insert(1, 100);
+  map->insert(2, 200);
+  EXPECT_FALSE(map->move(1, 2));
+  EXPECT_EQ(map->get(1), 100);
+  EXPECT_EQ(map->get(2), 200);
+}
+
+TEST_P(TreeSequentialTest, MoveToSameKeyFails) {
+  auto map = makeMap();
+  map->insert(1, 100);
+  // Destination == source is occupied by definition.
+  EXPECT_FALSE(map->move(1, 1));
+  EXPECT_EQ(map->get(1), 100);
+}
+
+TEST_P(TreeSequentialTest, RandomFuzzAgainstStdMap) {
+  auto map = makeMap();
+  std::map<Key, sftree::Value> reference;
+  Rng rng(GetParam() == trees::MapKind::RBTree ? 1234 : 777);
+  constexpr int kOps = 6000;
+  constexpr Key kRange = 512;
+
+  for (int i = 0; i < kOps; ++i) {
+    const Key k = static_cast<Key>(rng.nextBounded(kRange));
+    switch (rng.nextBounded(4)) {
+      case 0: {  // insert
+        const auto v = static_cast<sftree::Value>(rng.nextBounded(1 << 20));
+        const bool expect = reference.emplace(k, v).second;
+        ASSERT_EQ(map->insert(k, v), expect) << "insert " << k << " op " << i;
+        break;
+      }
+      case 1: {  // erase
+        const bool expect = reference.erase(k) > 0;
+        ASSERT_EQ(map->erase(k), expect) << "erase " << k << " op " << i;
+        break;
+      }
+      case 2: {  // contains
+        const bool expect = reference.count(k) > 0;
+        ASSERT_EQ(map->contains(k), expect) << "contains " << k << " op " << i;
+        break;
+      }
+      default: {  // get
+        const auto it = reference.find(k);
+        const auto got = map->get(k);
+        if (it == reference.end()) {
+          ASSERT_EQ(got, std::nullopt) << "get " << k << " op " << i;
+        } else {
+          ASSERT_EQ(got, it->second) << "get " << k << " op " << i;
+        }
+        break;
+      }
+    }
+  }
+  // Final contents must agree exactly.
+  map->quiesce();
+  std::vector<Key> expectKeys;
+  for (const auto& [k, v] : reference) expectKeys.push_back(k);
+  EXPECT_EQ(map->keysInOrder(), expectKeys);
+  EXPECT_EQ(map->size(), reference.size());
+}
+
+TEST_P(TreeSequentialTest, FuzzWithMoves) {
+  auto map = makeMap();
+  std::map<Key, sftree::Value> reference;
+  Rng rng(31337);
+  constexpr int kOps = 3000;
+  constexpr Key kRange = 256;
+
+  for (int i = 0; i < kOps; ++i) {
+    const Key k = static_cast<Key>(rng.nextBounded(kRange));
+    const Key k2 = static_cast<Key>(rng.nextBounded(kRange));
+    switch (rng.nextBounded(3)) {
+      case 0: {
+        const bool expect = reference.emplace(k, k).second;
+        ASSERT_EQ(map->insert(k, k), expect);
+        break;
+      }
+      case 1: {
+        const bool expect = reference.erase(k) > 0;
+        ASSERT_EQ(map->erase(k), expect);
+        break;
+      }
+      default: {
+        const auto it = reference.find(k);
+        bool expect = false;
+        if (it != reference.end() && reference.count(k2) == 0) {
+          const auto v = it->second;
+          reference.erase(it);
+          reference.emplace(k2, v);
+          expect = true;
+        }
+        ASSERT_EQ(map->move(k, k2), expect) << "move " << k << "->" << k2;
+        break;
+      }
+    }
+  }
+  map->quiesce();
+  std::vector<Key> expectKeys;
+  for (const auto& [k, v] : reference) expectKeys.push_back(k);
+  EXPECT_EQ(map->keysInOrder(), expectKeys);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrees, TreeSequentialTest,
+    ::testing::ValuesIn(trees::allMapKinds()),
+    [](const ::testing::TestParamInfo<trees::MapKind>& info) {
+      std::string name = trees::mapKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace

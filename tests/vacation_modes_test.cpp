@@ -1,0 +1,71 @@
+// Vacation under the other TM configurations (ETL, NOrec) and heavier
+// concurrency: the database must stay consistent regardless of the TM
+// algorithm — the application-level counterpart of the §5.3 portability
+// claim.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vacation/vacation_app.hpp"
+
+namespace vac = sftree::vacation;
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+
+namespace {
+
+struct ModeCase {
+  stm::LockMode lockMode;
+  stm::TmBackend backend;
+  trees::MapKind tables;
+  const char* name;
+};
+
+class VacationModesTest : public ::testing::TestWithParam<ModeCase> {
+ protected:
+  void SetUp() override {
+    auto cfg = stm::Runtime::instance().config();
+    cfg.lockMode = GetParam().lockMode;
+    cfg.backend = GetParam().backend;
+    stm::Runtime::instance().setConfig(cfg);
+  }
+  void TearDown() override {
+    auto cfg = stm::Runtime::instance().config();
+    cfg.lockMode = stm::LockMode::Lazy;
+    cfg.backend = stm::TmBackend::Orec;
+    stm::Runtime::instance().setConfig(cfg);
+  }
+};
+
+TEST_P(VacationModesTest, HighContentionRunStaysConsistent) {
+  vac::VacationConfig cfg;
+  cfg.client = vac::highContentionConfig();
+  cfg.client.relations = 192;
+  cfg.tableKind = GetParam().tables;
+  cfg.threads = 4;
+  cfg.transactions = 1600;
+  const auto result = vac::runVacation(cfg);
+  EXPECT_TRUE(result.consistent) << result.consistencyError;
+  EXPECT_GT(result.stm.commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, VacationModesTest,
+    ::testing::Values(
+        ModeCase{stm::LockMode::Eager, stm::TmBackend::Orec,
+                 trees::MapKind::OptSFTree, "etl_optsf"},
+        ModeCase{stm::LockMode::Eager, stm::TmBackend::Orec,
+                 trees::MapKind::RBTree, "etl_rb"},
+        ModeCase{stm::LockMode::Lazy, stm::TmBackend::NOrec,
+                 trees::MapKind::OptSFTree, "norec_optsf"},
+        ModeCase{stm::LockMode::Lazy, stm::TmBackend::NOrec,
+                 trees::MapKind::RBTree, "norec_rb"},
+        ModeCase{stm::LockMode::Lazy, stm::TmBackend::NOrec,
+                 trees::MapKind::AVLTree, "norec_avl"},
+        ModeCase{stm::LockMode::Eager, stm::TmBackend::Orec,
+                 trees::MapKind::NRTree, "etl_nr"}),
+    [](const ::testing::TestParamInfo<ModeCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace

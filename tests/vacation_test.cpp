@@ -1,0 +1,266 @@
+// Vacation application tests: manager semantics, atomic client actions,
+// multi-threaded consistency — on each table implementation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "vacation/vacation_app.hpp"
+
+namespace vac = sftree::vacation;
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+using sftree::Key;
+using vac::Manager;
+using vac::Money;
+using vac::ReservationType;
+
+namespace {
+
+class VacationManagerTest : public ::testing::TestWithParam<trees::MapKind> {
+ protected:
+  std::unique_ptr<Manager> makeManager() {
+    return std::make_unique<Manager>(GetParam(), stm::TxKind::Normal);
+  }
+
+  template <typename F>
+  auto tx(F&& fn) {
+    return stm::atomically(std::forward<F>(fn));
+  }
+};
+
+TEST_P(VacationManagerTest, AddAndQueryReservation) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    EXPECT_TRUE(m->addReservation(t, ReservationType::Car, 1, 100, 50));
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_EQ(m->queryFree(t, ReservationType::Car, 1), 100);
+    EXPECT_EQ(m->queryPrice(t, ReservationType::Car, 1), 50);
+    EXPECT_EQ(m->queryFree(t, ReservationType::Car, 2), -1);
+    EXPECT_EQ(m->queryFree(t, ReservationType::Room, 1), -1);
+  });
+}
+
+TEST_P(VacationManagerTest, AddToExistingGrowsCapacityAndUpdatesPrice) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Room, 7, 100, 50);
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_TRUE(m->addReservation(t, ReservationType::Room, 7, 50, 80));
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_EQ(m->queryFree(t, ReservationType::Room, 7), 150);
+    EXPECT_EQ(m->queryPrice(t, ReservationType::Room, 7), 80);
+  });
+}
+
+TEST_P(VacationManagerTest, DeleteCapacityCannotGoNegative) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Flight, 3, 100, 60);
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_TRUE(m->deleteReservationCapacity(t, ReservationType::Flight, 3, 60));
+    EXPECT_FALSE(m->deleteReservationCapacity(t, ReservationType::Flight, 3, 60));
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_EQ(m->queryFree(t, ReservationType::Flight, 3), 40);
+  });
+}
+
+TEST_P(VacationManagerTest, ReserveAndCancelRoundTrip) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Car, 1, 2, 30);
+    m->addCustomer(t, 42);
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_TRUE(m->reserve(t, ReservationType::Car, 42, 1));
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_EQ(m->queryFree(t, ReservationType::Car, 1), 1);
+    EXPECT_EQ(m->queryCustomerBill(t, 42), 30);
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_TRUE(m->cancel(t, ReservationType::Car, 42, 1));
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_EQ(m->queryFree(t, ReservationType::Car, 1), 2);
+    EXPECT_EQ(m->queryCustomerBill(t, 42), 0);
+  });
+  std::string err;
+  EXPECT_TRUE(m->checkConsistency(&err)) << err;
+}
+
+TEST_P(VacationManagerTest, DoubleReserveSameItemFails) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Car, 1, 10, 30);
+    m->addCustomer(t, 42);
+  });
+  tx([&](stm::Tx& t) { EXPECT_TRUE(m->reserve(t, ReservationType::Car, 42, 1)); });
+  tx([&](stm::Tx& t) { EXPECT_FALSE(m->reserve(t, ReservationType::Car, 42, 1)); });
+  // Failed double-reserve must not leak capacity.
+  tx([&](stm::Tx& t) { EXPECT_EQ(m->queryFree(t, ReservationType::Car, 1), 9); });
+  std::string err;
+  EXPECT_TRUE(m->checkConsistency(&err)) << err;
+}
+
+TEST_P(VacationManagerTest, ReserveFailsWithoutCustomerOrItem) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Car, 1, 10, 30);
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_FALSE(m->reserve(t, ReservationType::Car, 99, 1));  // no customer
+  });
+  tx([&](stm::Tx& t) { m->addCustomer(t, 99); });
+  tx([&](stm::Tx& t) {
+    EXPECT_FALSE(m->reserve(t, ReservationType::Car, 99, 2));  // no item
+  });
+}
+
+TEST_P(VacationManagerTest, ReserveExhaustsCapacity) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Room, 1, 2, 10);
+    m->addCustomer(t, 1);
+    m->addCustomer(t, 2);
+    m->addCustomer(t, 3);
+  });
+  tx([&](stm::Tx& t) { EXPECT_TRUE(m->reserve(t, ReservationType::Room, 1, 1)); });
+  tx([&](stm::Tx& t) { EXPECT_TRUE(m->reserve(t, ReservationType::Room, 2, 1)); });
+  tx([&](stm::Tx& t) { EXPECT_FALSE(m->reserve(t, ReservationType::Room, 3, 1)); });
+  std::string err;
+  EXPECT_TRUE(m->checkConsistency(&err)) << err;
+}
+
+TEST_P(VacationManagerTest, DeleteCustomerCancelsAllReservations) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Car, 1, 5, 10);
+    m->addReservation(t, ReservationType::Room, 2, 5, 20);
+    m->addReservation(t, ReservationType::Flight, 3, 5, 30);
+    m->addCustomer(t, 42);
+  });
+  tx([&](stm::Tx& t) {
+    EXPECT_TRUE(m->reserve(t, ReservationType::Car, 42, 1));
+    EXPECT_TRUE(m->reserve(t, ReservationType::Room, 42, 2));
+    EXPECT_TRUE(m->reserve(t, ReservationType::Flight, 42, 3));
+  });
+  tx([&](stm::Tx& t) { EXPECT_EQ(m->queryCustomerBill(t, 42), 60); });
+  tx([&](stm::Tx& t) { EXPECT_TRUE(m->deleteCustomer(t, 42)); });
+  tx([&](stm::Tx& t) {
+    EXPECT_EQ(m->queryCustomerBill(t, 42), -1);
+    EXPECT_EQ(m->queryFree(t, ReservationType::Car, 1), 5);
+    EXPECT_EQ(m->queryFree(t, ReservationType::Room, 2), 5);
+    EXPECT_EQ(m->queryFree(t, ReservationType::Flight, 3), 5);
+  });
+  std::string err;
+  EXPECT_TRUE(m->checkConsistency(&err)) << err;
+}
+
+TEST_P(VacationManagerTest, DeleteFlightOnlyWhenUnused) {
+  auto m = makeManager();
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Flight, 9, 5, 100);
+    m->addCustomer(t, 1);
+  });
+  tx([&](stm::Tx& t) { EXPECT_TRUE(m->reserve(t, ReservationType::Flight, 1, 9)); });
+  tx([&](stm::Tx& t) { EXPECT_FALSE(m->deleteFlight(t, 9)); });
+  tx([&](stm::Tx& t) { EXPECT_TRUE(m->cancel(t, ReservationType::Flight, 1, 9)); });
+  tx([&](stm::Tx& t) { EXPECT_TRUE(m->deleteFlight(t, 9)); });
+  tx([&](stm::Tx& t) {
+    EXPECT_EQ(m->queryFree(t, ReservationType::Flight, 9), -1);
+  });
+}
+
+TEST_P(VacationManagerTest, ConcurrentReservationsNeverOversell) {
+  auto m = makeManager();
+  constexpr std::int64_t kCapacity = 50;
+  tx([&](stm::Tx& t) {
+    m->addReservation(t, ReservationType::Car, 1, kCapacity, 10);
+  });
+  constexpr int kThreads = 4;
+  constexpr int kCustomersPerThread = 40;
+  std::vector<std::thread> threads;
+  std::atomic<int> succeeded{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCustomersPerThread; ++i) {
+        const Key cid = t * kCustomersPerThread + i;
+        const bool ok = stm::atomically([&](stm::Tx& txn) {
+          m->addCustomer(txn, cid);
+          return m->reserve(txn, ReservationType::Car, cid, 1);
+        });
+        if (ok) succeeded.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(succeeded.load(), kCapacity);
+  tx([&](stm::Tx& t) { EXPECT_EQ(m->queryFree(t, ReservationType::Car, 1), 0); });
+  std::string err;
+  EXPECT_TRUE(m->checkConsistency(&err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables, VacationManagerTest,
+    ::testing::Values(trees::MapKind::RBTree, trees::MapKind::OptSFTree,
+                      trees::MapKind::NRTree),
+    [](const ::testing::TestParamInfo<trees::MapKind>& info) {
+      std::string name = trees::mapKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- end-to-end application runs -------------------------------------------
+
+struct AppCase {
+  trees::MapKind kind;
+  bool highContention;
+};
+
+class VacationAppTest : public ::testing::TestWithParam<AppCase> {};
+
+TEST_P(VacationAppTest, ShortRunIsConsistent) {
+  vac::VacationConfig cfg;
+  cfg.client = GetParam().highContention ? vac::highContentionConfig()
+                                         : vac::lowContentionConfig();
+  cfg.client.relations = 256;  // container-scale
+  cfg.tableKind = GetParam().kind;
+  cfg.threads = 4;
+  cfg.transactions = 2000;
+  const auto result = vac::runVacation(cfg);
+  EXPECT_TRUE(result.consistent) << result.consistencyError;
+  EXPECT_GT(result.seconds, 0.0);
+  const auto total = result.clientStats.makeReservation +
+                     result.clientStats.deleteCustomer +
+                     result.clientStats.updateTables;
+  EXPECT_EQ(total, 2000u);
+  // The action mix should roughly match the configured user percentage.
+  const double userPct = 100.0 * result.clientStats.makeReservation / total;
+  EXPECT_NEAR(userPct, cfg.client.userTransactionPercent, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, VacationAppTest,
+    ::testing::Values(AppCase{trees::MapKind::RBTree, false},
+                      AppCase{trees::MapKind::RBTree, true},
+                      AppCase{trees::MapKind::OptSFTree, false},
+                      AppCase{trees::MapKind::OptSFTree, true},
+                      AppCase{trees::MapKind::NRTree, true},
+                      AppCase{trees::MapKind::AVLTree, true}),
+    [](const ::testing::TestParamInfo<AppCase>& info) {
+      std::string name = trees::mapKindName(info.param.kind);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + (info.param.highContention ? "_high" : "_low");
+    });
+
+}  // namespace
