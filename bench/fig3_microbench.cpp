@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
       trees::MapKind::RBTree, trees::MapKind::SFTree, trees::MapKind::NRTree,
       trees::MapKind::AVLTree};
 
+  bench::JsonReport json("fig3_microbench");
+  json.meta()
+      .set("duration_ms", durationMs)
+      .set("size_log", sizeLog);
+
   stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
 
   for (const bool biased : {false, true}) {
@@ -54,11 +59,18 @@ int main(int argc, char** argv) {
           bench::populate(*map, cfg);
           const auto result = bench::runThroughput(*map, cfg);
           row.push_back(bench::Table::num(result.opsPerMicrosecond()));
+          json.addRecord()
+              .set("tree", trees::mapKindName(kind))
+              .set("biased", biased)
+              .set("update_percent", u)
+              .set("threads", threads)
+              .set("ops_per_us", result.opsPerMicrosecond())
+              .set("abort_ratio", result.stm.abortRatio());
         }
         table.addRow(row);
       }
       table.print();
     }
   }
-  return 0;
+  return json.writeFile(cli.jsonPath()) ? 0 : 1;
 }

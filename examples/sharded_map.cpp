@@ -1,0 +1,92 @@
+// Sharded map: partitioning the key space over several speculation-friendly
+// trees whose restructuring shares one small maintenance worker pool.
+//
+//   $ ./examples/example_sharded_map
+//
+// Demonstrates: building a ShardedMap on a shared MaintenanceScheduler,
+// concurrent use, atomic cross-shard moves, consistent range counts that
+// span every shard, and the aggregated maintenance statistics.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "shard/maintenance_scheduler.hpp"
+#include "shard/sharded_map.hpp"
+
+namespace shard = sftree::shard;
+using sftree::Key;
+
+int main() {
+  // Two workers maintain four trees: the scheduler round-robins maintenance
+  // passes and backs off on idle shards, so K < N costs nothing while the
+  // map is cold and converges quickly while it is hot.
+  shard::MaintenanceSchedulerConfig schedCfg;
+  schedCfg.workers = 2;
+  shard::MaintenanceScheduler scheduler(schedCfg);
+
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 4;
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  // --- basics ---------------------------------------------------------------
+  map.insert(42, 4200);
+  map.insert(7, 700);
+  std::printf("contains(42) = %s (shard %d)\n",
+              map.contains(42) ? "yes" : "no", map.shardIndexFor(42));
+  std::printf("contains(7)  = %s (shard %d)\n",
+              map.contains(7) ? "yes" : "no", map.shardIndexFor(7));
+
+  // Atomic cross-shard relocation: one transaction spans both trees.
+  Key dest = 1'000;
+  while (map.shardIndexFor(dest) == map.shardIndexFor(42)) ++dest;
+  map.move(42, dest);
+  std::printf("after move(42 -> %lld): contains(42)=%s contains(%lld)=%s "
+              "(shard %d -> shard %d)\n",
+              static_cast<long long>(dest), map.contains(42) ? "yes" : "no",
+              static_cast<long long>(dest), map.contains(dest) ? "yes" : "no",
+              map.shardIndexFor(42), map.shardIndexFor(dest));
+
+  // --- concurrent use -------------------------------------------------------
+  constexpr int kThreads = 4;
+  constexpr Key kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, t] {
+      const Key base = t * kPerThread;
+      for (Key i = 0; i < kPerThread; ++i) map.insert(base + i, i);
+      for (Key i = 0; i < kPerThread; i += 2) map.erase(base + i);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // A consistent snapshot over every shard in one transaction.
+  std::printf("\ncountRange(0, 9999)   = %zu\n", map.countRange(0, 9999));
+
+  // Let the shared pool finish restructuring, then inspect.
+  map.quiesce();
+  const auto stats = map.aggregatedStats();
+  std::printf("abstract size         = %zu keys over %d shards\n", map.size(),
+              map.shardCount());
+  std::printf("max shard height      = %d (log2(n/shards) ~ 12)\n",
+              map.height());
+  std::printf("aggregated maintenance: %llu rotations, %llu removals, %llu "
+              "nodes freed\n",
+              static_cast<unsigned long long>(stats.maintenance.rotations),
+              static_cast<unsigned long long>(stats.maintenance.removals),
+              static_cast<unsigned long long>(stats.maintenance.nodesFreed));
+
+  const auto sched = scheduler.stats();
+  std::printf("scheduler             : %llu passes (%llu active), %llu "
+              "backoff skips, %llu signal wakeups\n",
+              static_cast<unsigned long long>(sched.passes),
+              static_cast<unsigned long long>(sched.activePasses),
+              static_cast<unsigned long long>(sched.backoffSkips),
+              static_cast<unsigned long long>(sched.signalWakeups));
+  for (const auto& t : scheduler.treeStats()) {
+    std::printf("  %-8s passes=%llu active=%llu\n", t.name.c_str(),
+                static_cast<unsigned long long>(t.passes),
+                static_cast<unsigned long long>(t.activePasses));
+  }
+  return 0;
+}

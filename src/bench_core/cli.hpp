@@ -2,6 +2,10 @@
 // Every binary runs with no arguments using container-scale defaults;
 // paper-scale sweeps are reached with flags like
 //   fig3_microbench --threads=1,8,16,24,32,40,48 --duration-ms=10000
+// and machine-readable results are requested with
+//   fig3_microbench --json=BENCH_fig3.json
+// Sharded scenarios take their shard-count sweep the same way:
+//   shard_scaling --shards=1,2,4,8
 #pragma once
 
 #include <cstdint>
@@ -64,6 +68,10 @@ class Cli {
     }
     return out.empty() ? dflt : out;
   }
+
+  // Destination for the machine-readable report (--json=<path>); empty
+  // when not requested, which JsonReport::writeFile treats as a no-op.
+  std::string jsonPath() const { return str("json", ""); }
 
   std::vector<double> realList(const std::string& key,
                                std::vector<double> dflt) const {

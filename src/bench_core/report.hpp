@@ -1,11 +1,17 @@
-// Plain-text table rendering for the benchmark binaries: each bench prints
-// the same rows/series as the paper's corresponding table or figure.
+// Reporting for the benchmark binaries: plain-text tables mirroring the
+// paper's figures, plus a machine-readable JSON emitter (--json <path>)
+// that writes BENCH_*.json files for the performance trajectory.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sftree::bench {
@@ -59,6 +65,142 @@ class Table {
 
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+// One flat JSON object with insertion-ordered fields. Values are stored
+// pre-encoded so the record never needs a variant type.
+class JsonRecord {
+ public:
+  JsonRecord& set(const std::string& key, const std::string& v) {
+    return raw(key, quote(v));
+  }
+  JsonRecord& set(const std::string& key, const char* v) {
+    return raw(key, quote(v));
+  }
+  JsonRecord& set(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonRecord& set(const std::string& key, double v) {
+    if (!std::isfinite(v)) return raw(key, "null");
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return raw(key, os.str());
+  }
+  JsonRecord& set(const std::string& key, std::int64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonRecord& set(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonRecord& set(const std::string& key, int v) {
+    return set(key, static_cast<std::int64_t>(v));
+  }
+
+  void render(std::ostream& os, const std::string& indent) const {
+    os << "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\n" << indent << "  " << quote(fields_[i].first) << ": "
+         << fields_[i].second;
+    }
+    if (!fields_.empty()) os << "\n" << indent;
+    os << "}";
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+ private:
+  JsonRecord& raw(const std::string& key, std::string encoded) {
+    fields_.emplace_back(key, std::move(encoded));
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Machine-readable benchmark output:
+//
+//   {
+//     "bench": "<name>",
+//     "meta": { ...run configuration... },
+//     "results": [ { ...one measured configuration... }, ... ]
+//   }
+//
+// Usage: fill meta() once, addRecord() per measured point, then
+// writeFile(cli.str("json", "")) — writeFile with an empty path is a no-op,
+// so benches can call it unconditionally.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchName)
+      : benchName_(std::move(benchName)) {}
+
+  JsonRecord& meta() { return meta_; }
+  JsonRecord& addRecord() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  std::string toString() const {
+    std::ostringstream os;
+    os << "{\n  \"bench\": " << JsonRecord::quote(benchName_) << ",\n"
+       << "  \"meta\": ";
+    meta_.render(os, "  ");
+    os << ",\n  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\n    ";
+      records_[i].render(os, "    ");
+    }
+    if (!records_.empty()) os << "\n  ";
+    os << "]\n}\n";
+    return os.str();
+  }
+
+  // Writes the report to `path`; empty path is a no-op (returns true).
+  // Reports failures on stderr so an unwritable path cannot silently drop
+  // benchmark results.
+  bool writeFile(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "json report: cannot open " << path << "\n";
+      return false;
+    }
+    out << toString();
+    out.flush();
+    if (!out) {
+      std::cerr << "json report: write to " << path << " failed\n";
+      return false;
+    }
+    std::cout << "json report written to " << path << "\n";
+    return true;
+  }
+
+ private:
+  std::string benchName_;
+  JsonRecord meta_;
+  std::vector<JsonRecord> records_;
 };
 
 }  // namespace sftree::bench

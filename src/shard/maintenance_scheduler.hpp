@@ -1,0 +1,156 @@
+// Shared maintenance scheduler: multiplexes the background restructuring of
+// many speculation-friendly trees onto a small pool of worker threads.
+//
+// The paper dedicates one rotator thread per tree, which stops scaling the
+// moment a process hosts more trees than spare cores (the vacation tables
+// already need a duty-cycle throttle to keep four rotators from starving the
+// clients). The scheduler inverts that: N trees register a pass callback, K
+// worker threads (K typically << N) round-robin depth-first maintenance
+// passes across them. Splay-tree analysis reminds us restructuring cost is
+// access-sequence-dependent, so passes are steered to where the work is:
+//
+//  * per-tree exponential backoff — a tree whose pass performed no
+//    structural change waits basePause, then 2x, 4x, ... up to maxPause
+//    before it is polled again, so idle trees cost (almost) nothing;
+//  * work signal — each tree may expose a monotonic update counter; any
+//    observed change resets its backoff, so a tree that turns hot is picked
+//    up on the next scan instead of after the full backoff window.
+//
+// The scheduler is deliberately tree-agnostic (callbacks only): trees,
+// sharded maps and the vacation manager all register through the same
+// interface, and unit tests can register plain lambdas.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sftree::shard {
+
+struct MaintenanceSchedulerConfig {
+  // Worker threads in the pool. The whole point is workers < trees; one
+  // worker is enough for most shard counts on small machines.
+  int workers = 1;
+  // Backoff after the first idle pass on a tree; doubles per consecutive
+  // idle pass up to maxPause.
+  std::chrono::microseconds basePause{100};
+  std::chrono::microseconds maxPause{20'000};
+  // Pause before re-polling a tree whose last pass did structural work
+  // (0 = continuous, like the paper's dedicated rotator).
+  std::chrono::microseconds hotPause{0};
+};
+
+// Aggregate counters over the scheduler's lifetime.
+struct SchedulerStats {
+  std::uint64_t passes = 0;        // maintenance passes executed
+  std::uint64_t activePasses = 0;  // passes that performed structural work
+  std::uint64_t backoffSkips = 0;  // scan visits skipped due to backoff
+  std::uint64_t signalWakeups = 0; // backoffs cut short by a work signal
+};
+
+// Per-tree view of the same counters.
+struct TreeMaintStats {
+  std::string name;
+  std::uint64_t passes = 0;
+  std::uint64_t activePasses = 0;
+  int idleStreak = 0;  // consecutive idle passes (drives the backoff)
+};
+
+class MaintenanceScheduler {
+ public:
+  // One full maintenance pass; must return true when the pass performed at
+  // least one structural change. `cancel` turns true when the scheduler is
+  // shutting down; long passes should bail out promptly.
+  using PassFn = std::function<bool(const std::atomic<bool>* cancel)>;
+  // Optional monotonic activity counter (e.g. SFTree::updateTicks). Any
+  // change between polls resets the tree's backoff.
+  using WorkSignalFn = std::function<std::uint64_t()>;
+
+  using TreeHandle = std::uint64_t;
+  static constexpr TreeHandle kInvalidHandle = 0;
+
+  explicit MaintenanceScheduler(MaintenanceSchedulerConfig cfg = {});
+  ~MaintenanceScheduler();  // stops the pool; joins all workers
+
+  MaintenanceScheduler(const MaintenanceScheduler&) = delete;
+  MaintenanceScheduler& operator=(const MaintenanceScheduler&) = delete;
+
+  // Registers a tree; maintenance passes start being scheduled immediately.
+  // The callbacks must stay valid until unregisterTree() returns.
+  TreeHandle registerTree(std::string name, PassFn pass,
+                          WorkSignalFn signal = nullptr);
+
+  // Removes the tree. Blocks until any in-flight pass on it has finished,
+  // so the caller may destroy the tree as soon as this returns.
+  void unregisterTree(TreeHandle h);
+
+  // Temporarily excludes the tree from scheduling; blocks until any
+  // in-flight pass on it has finished. Used to quiesce a single tree (e.g.
+  // for introspection walks) without perturbing the rest of the pool.
+  // Pauses nest: concurrent pausers each pause/resume, and scheduling only
+  // resumes when the last one has called resume().
+  void pause(TreeHandle h);
+  void resume(TreeHandle h);
+
+  // Cuts the tree's current backoff short (an explicit work hint; the
+  // work-signal callback usually makes this unnecessary).
+  void nudge(TreeHandle h);
+
+  SchedulerStats stats() const;
+  std::vector<TreeMaintStats> treeStats() const;
+  std::size_t registeredCount() const;
+  int workerCount() const { return cfg_.workers; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    TreeHandle handle = kInvalidHandle;
+    std::string name;
+    PassFn pass;
+    WorkSignalFn signal;
+
+    int pauseDepth = 0;  // paused while > 0 (pauses nest)
+    bool dead = false;
+    bool inPass = false;
+    Clock::time_point nextEligible{};  // epoch start: eligible immediately
+    std::uint64_t lastSignal = 0;
+    int idleStreak = 0;
+
+    std::uint64_t passes = 0;
+    std::uint64_t activePasses = 0;
+  };
+
+  void workerLoop();
+  // Picks the next runnable entry at or after cursor_ (mu_ held). Returns
+  // nullptr when nothing is eligible and sets `earliest` to the soonest
+  // backoff expiry among the skipped entries (Clock::time_point::max() when
+  // there is none). `signalPollNeeded` reports whether any skipped entry
+  // has a work-signal callback, i.e. whether sleeping past `earliest` could
+  // miss a wakeup only a poll would notice.
+  std::shared_ptr<Entry> pickRunnable(Clock::time_point now,
+                                      Clock::time_point& earliest,
+                                      bool& signalPollNeeded);
+  std::shared_ptr<Entry> findEntry(TreeHandle h) const;  // mu_ held
+
+  const MaintenanceSchedulerConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Entry>> entries_;
+  std::size_t cursor_ = 0;  // round-robin start position for the next scan
+  TreeHandle nextHandle_ = 1;
+  SchedulerStats stats_;
+
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sftree::shard

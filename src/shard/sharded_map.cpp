@@ -1,0 +1,223 @@
+#include "shard/sharded_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sftree::shard {
+
+namespace {
+
+// splitmix64 finalizer: adjacent keys land on unrelated shards, so a
+// key-range scan load-balances instead of hammering one tree.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedMap::ShardedMap(ShardedMapConfig cfg) : cfg_(std::move(cfg)) {
+  // Hard check, not an assert: shards parameterizes a modulo on every
+  // operation, and release builds would die with SIGFPE instead.
+  if (cfg_.shards < 1) {
+    throw std::invalid_argument("ShardedMap: shards must be >= 1");
+  }
+  const auto n = static_cast<std::size_t>(cfg_.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trees::SFTreeConfig treeCfg = cfg_.tree;
+    if (cfg_.scheduler != nullptr) treeCfg.startMaintenance = false;
+    shards_.push_back(std::make_unique<trees::SFTree>(treeCfg));
+  }
+  if (cfg_.scheduler != nullptr) {
+    handles_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      trees::SFTree* tree = shards_[i].get();
+      handles_.push_back(cfg_.scheduler->registerTree(
+          cfg_.name + "/" + std::to_string(i),
+          [tree](const std::atomic<bool>* cancel) {
+            return tree->runMaintenancePass(cancel);
+          },
+          [tree] { return tree->updateTicks(); }));
+    }
+  }
+}
+
+ShardedMap::~ShardedMap() {
+  // Unregister before the trees go away: unregisterTree blocks until any
+  // in-flight pass on the shard has finished.
+  if (cfg_.scheduler != nullptr) {
+    for (const auto h : handles_) cfg_.scheduler->unregisterTree(h);
+  }
+}
+
+std::size_t ShardedMap::hashShard(Key k) const {
+  return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(k)) %
+                                  static_cast<std::uint64_t>(shards_.size()));
+}
+
+int ShardedMap::shardIndexFor(Key k) const {
+  return static_cast<int>(hashShard(k));
+}
+
+// --------------------------------------------------------------------------
+// Single-key operations: delegate to the owning shard (the tree's own entry
+// points keep the per-op stats bracket and size estimate).
+// --------------------------------------------------------------------------
+bool ShardedMap::insert(Key k, Value v) { return shardFor(k).insert(k, v); }
+bool ShardedMap::erase(Key k) { return shardFor(k).erase(k); }
+bool ShardedMap::contains(Key k) { return shardFor(k).contains(k); }
+std::optional<Value> ShardedMap::get(Key k) { return shardFor(k).get(k); }
+
+bool ShardedMap::insertTx(stm::Tx& tx, Key k, Value v) {
+  return shardFor(k).insertTx(tx, k, v);
+}
+bool ShardedMap::eraseTx(stm::Tx& tx, Key k) {
+  return shardFor(k).eraseTx(tx, k);
+}
+bool ShardedMap::containsTx(stm::Tx& tx, Key k) {
+  return shardFor(k).containsTx(tx, k);
+}
+std::optional<Value> ShardedMap::getTx(stm::Tx& tx, Key k) {
+  return shardFor(k).getTx(tx, k);
+}
+
+// All shards share one config, so the first shard's elastic-safety rule is
+// the map's.
+stm::TxKind ShardedMap::updateTxKind() const {
+  return shards_.front()->updateTxKind();
+}
+
+bool ShardedMap::move(Key from, Key to) {
+  const std::size_t src = hashShard(from);
+  const std::size_t dst = hashShard(to);
+  if (src == dst) return shards_[src]->move(from, to);
+
+  // Cross-shard: one flat-nested transaction spanning both trees. The STM
+  // commit makes the erase and the insert visible atomically, so no reader
+  // can observe the key at both shards or at neither.
+  auto& st = stm::threadStats();
+  st.beginOp();
+  const bool r = stm::atomically(updateTxKind(), [&](stm::Tx& tx) {
+    if (shards_[dst]->containsTx(tx, to)) return false;
+    const std::optional<Value> v = shards_[src]->getTx(tx, from);
+    if (!v) return false;
+    shards_[src]->eraseTx(tx, from);
+    if (!shards_[dst]->insertTx(tx, to, *v)) {
+      // Same subtlety as SFTree::move: under elastic reads a concurrent
+      // insert of `to` can slip past the earlier contains; retry rather
+      // than lose the moved key.
+      tx.restart();
+    }
+    return true;
+  });
+  st.endOp();
+  return r;
+}
+
+std::size_t ShardedMap::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
+  // Hash partitioning scatters [lo, hi] across every shard; summing the
+  // per-shard transactional counts inside one transaction yields a
+  // consistent snapshot of the whole range.
+  std::size_t total = 0;
+  for (auto& s : shards_) total += s->countRangeTx(tx, lo, hi);
+  return total;
+}
+
+std::size_t ShardedMap::countRange(Key lo, Key hi) {
+  auto& st = stm::threadStats();
+  st.beginOp();
+  const auto r =
+      stm::atomically([&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+  st.endOp();
+  return r;
+}
+
+// --------------------------------------------------------------------------
+// Quiesced introspection
+// --------------------------------------------------------------------------
+std::vector<bool> ShardedMap::pauseAllMaintenance() {
+  std::vector<bool> wasRunning(shards_.size(), false);
+  if (cfg_.scheduler != nullptr) {
+    for (const auto h : handles_) cfg_.scheduler->pause(h);
+    return wasRunning;  // unused in scheduler mode
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    wasRunning[i] = shards_[i]->maintenanceRunning();
+    if (wasRunning[i]) shards_[i]->stopMaintenance();
+  }
+  return wasRunning;
+}
+
+void ShardedMap::resumeAllMaintenance(const std::vector<bool>& wasRunning) {
+  if (cfg_.scheduler != nullptr) {
+    for (const auto h : handles_) cfg_.scheduler->resume(h);
+    return;
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (wasRunning[i]) shards_[i]->startMaintenance();
+  }
+}
+
+std::size_t ShardedMap::size() {
+  const auto wasRunning = pauseAllMaintenance();
+  std::size_t total = 0;
+  for (auto& s : shards_) total += s->abstractSize();
+  resumeAllMaintenance(wasRunning);
+  return total;
+}
+
+int ShardedMap::height() {
+  const auto wasRunning = pauseAllMaintenance();
+  int h = 0;
+  for (auto& s : shards_) h = std::max(h, s->height());
+  resumeAllMaintenance(wasRunning);
+  return h;
+}
+
+std::vector<Key> ShardedMap::keysInOrder() {
+  const auto wasRunning = pauseAllMaintenance();
+  std::vector<Key> out;
+  for (auto& s : shards_) {
+    const auto keys = s->keysInOrder();
+    out.insert(out.end(), keys.begin(), keys.end());
+  }
+  resumeAllMaintenance(wasRunning);
+  // Per-shard walks are sorted, but the hash partition interleaves them.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ShardedMap::quiesce() {
+  const auto wasRunning = pauseAllMaintenance();
+  for (auto& s : shards_) s->quiesceNow();
+  resumeAllMaintenance(wasRunning);
+}
+
+std::int64_t ShardedMap::sizeEstimate() const {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->sizeEstimate();
+  return total;
+}
+
+ShardedMapStats ShardedMap::aggregatedStats() const {
+  ShardedMapStats out;
+  out.shardSizeEstimates.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    const auto est = s->sizeEstimate();
+    out.sizeEstimate += est;
+    out.shardSizeEstimates.push_back(est);
+    const auto m = s->maintenanceStats();
+    out.maintenance.traversals += m.traversals;
+    out.maintenance.rotations += m.rotations;
+    out.maintenance.removals += m.removals;
+    out.maintenance.failedStructuralOps += m.failedStructuralOps;
+    out.maintenance.nodesFreed += m.nodesFreed;
+    out.maintenance.nodesRetired += m.nodesRetired;
+  }
+  return out;
+}
+
+}  // namespace sftree::shard

@@ -1,0 +1,111 @@
+// Sharded transactional map: hash-partitions the key space over N
+// speculation-friendly trees behind the single ITransactionalMap interface.
+//
+// Each shard is a full SFTree (abstract operations decoupled from
+// restructuring, paper §3); the shards' maintenance is multiplexed onto a
+// shared MaintenanceScheduler worker pool instead of N dedicated rotator
+// threads. Single-key operations touch exactly one shard, so transactions
+// on different shards share no tree nodes and conflict only on the global
+// STM clock; cross-shard operations (move, countRange, sizeTx) compose the
+// per-shard transactional pieces inside one flat-nested transaction, which
+// keeps them atomic across shards for free — the STM runtime is
+// process-global, not per-tree.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shard/maintenance_scheduler.hpp"
+#include "trees/map_interface.hpp"
+#include "trees/sftree.hpp"
+
+namespace sftree::shard {
+
+struct ShardedMapConfig {
+  int shards = 4;
+  // Per-shard tree configuration. When a scheduler is supplied,
+  // tree.startMaintenance is ignored: shards are built externally
+  // maintained and registered with the scheduler instead.
+  trees::SFTreeConfig tree{};
+  // Shared maintenance pool (not owned; must outlive the map). When null,
+  // every shard runs its own dedicated maintenance thread, as in the paper.
+  MaintenanceScheduler* scheduler = nullptr;
+  // Prefix for the shards' scheduler entries (diagnostics).
+  std::string name = "shard";
+};
+
+// Aggregated view over all shards. The total sizeEstimate is exact once all
+// operations have returned; the per-shard estimates can drift under
+// cross-shard moves (which bypass the shards' own counters) but their sum
+// cannot.
+struct ShardedMapStats {
+  std::int64_t sizeEstimate = 0;
+  std::vector<std::int64_t> shardSizeEstimates;
+  trees::MaintenanceStats maintenance;  // summed over shards
+};
+
+class ShardedMap final : public trees::ITransactionalMap {
+ public:
+  explicit ShardedMap(ShardedMapConfig cfg = {});
+  ~ShardedMap() override;
+
+  ShardedMap(const ShardedMap&) = delete;
+  ShardedMap& operator=(const ShardedMap&) = delete;
+
+  // --- single-key operations (one shard each) ------------------------------
+  bool insert(Key k, Value v) override;
+  bool erase(Key k) override;
+  bool contains(Key k) override;
+  std::optional<Value> get(Key k) override;
+
+  // Atomic cross-shard relocation: composes erase(from-shard) and
+  // insert(to-shard) in one transaction. No intermediate state — a key at
+  // both shards or at neither — is ever observable.
+  bool move(Key from, Key to) override;
+
+  bool insertTx(stm::Tx& tx, Key k, Value v) override;
+  bool eraseTx(stm::Tx& tx, Key k) override;
+  bool containsTx(stm::Tx& tx, Key k) override;
+  std::optional<Value> getTx(stm::Tx& tx, Key k) override;
+
+  // Consistent snapshot over every shard (hash partitioning scatters any
+  // key range across all of them).
+  std::size_t countRangeTx(stm::Tx& tx, Key lo, Key hi) override;
+  std::size_t countRange(Key lo, Key hi) override;
+
+  // --- quiesced introspection ----------------------------------------------
+  std::size_t size() override;
+  int height() override;  // max shard height
+  std::vector<Key> keysInOrder() override;
+  void quiesce() override;
+
+  // --- sharding-specific surface -------------------------------------------
+  int shardCount() const { return static_cast<int>(shards_.size()); }
+  int shardIndexFor(Key k) const;
+  trees::SFTree& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+
+  // Committed-size estimate summed over the shards; exact once all
+  // operations have returned (like SFTree::sizeEstimate).
+  std::int64_t sizeEstimate() const;
+  ShardedMapStats aggregatedStats() const;
+
+ private:
+  trees::SFTree& shardFor(Key k) { return *shards_[hashShard(k)]; }
+  std::size_t hashShard(Key k) const;
+
+  // Pause/resume restructuring on every shard (scheduler entries or
+  // dedicated threads) around quiesced walks.
+  std::vector<bool> pauseAllMaintenance();
+  void resumeAllMaintenance(const std::vector<bool>& wasRunning);
+
+  stm::TxKind updateTxKind() const;
+
+  ShardedMapConfig cfg_;
+  std::vector<std::unique_ptr<trees::SFTree>> shards_;
+  std::vector<MaintenanceScheduler::TreeHandle> handles_;
+};
+
+}  // namespace sftree::shard

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "shard/maintenance_scheduler.hpp"
 #include "trees/avltree.hpp"
 #include "trees/rbtree.hpp"
 #include "trees/sftree.hpp"
@@ -10,9 +11,25 @@ namespace sftree::trees {
 
 namespace {
 
+// Marks cfg as externally maintained when a scheduler is supplied and the
+// tree actually restructures (the NRtree has nothing to schedule).
+SFTreeConfig adaptForScheduler(SFTreeConfig cfg,
+                               shard::MaintenanceScheduler* scheduler) {
+  if (scheduler != nullptr && (cfg.rotations || cfg.removals)) {
+    cfg.startMaintenance = false;
+  }
+  return cfg;
+}
+
 class SFTreeMap final : public ITransactionalMap {
   template <typename F>
   auto withPausedMaintenance(F&& fn) {
+    if (handle_ != shard::MaintenanceScheduler::kInvalidHandle) {
+      scheduler_->pause(handle_);
+      auto result = fn();
+      scheduler_->resume(handle_);
+      return result;
+    }
     const bool wasRunning = tree_.maintenanceRunning();
     if (wasRunning) tree_.stopMaintenance();
     auto result = fn();
@@ -21,7 +38,26 @@ class SFTreeMap final : public ITransactionalMap {
   }
 
  public:
-  explicit SFTreeMap(SFTreeConfig cfg) : tree_(cfg) {}
+  explicit SFTreeMap(SFTreeConfig cfg, std::string name = "sftree",
+                     shard::MaintenanceScheduler* scheduler = nullptr)
+      : tree_(adaptForScheduler(cfg, scheduler)), scheduler_(scheduler) {
+    if (scheduler_ != nullptr && (cfg.rotations || cfg.removals)) {
+      handle_ = scheduler_->registerTree(
+          std::move(name),
+          [this](const std::atomic<bool>* cancel) {
+            return tree_.runMaintenancePass(cancel);
+          },
+          [this] { return tree_.updateTicks(); });
+    }
+  }
+
+  ~SFTreeMap() override {
+    // Block until any in-flight scheduled pass has finished before the
+    // tree member is destroyed.
+    if (handle_ != shard::MaintenanceScheduler::kInvalidHandle) {
+      scheduler_->unregisterTree(handle_);
+    }
+  }
 
   bool insert(Key k, Value v) override { return tree_.insert(k, v); }
   bool erase(Key k) override { return tree_.erase(k); }
@@ -56,16 +92,19 @@ class SFTreeMap final : public ITransactionalMap {
   }
 
   void quiesce() override {
-    const bool wasRunning = tree_.maintenanceRunning();
-    tree_.stopMaintenance();
-    tree_.quiesceNow();
-    if (wasRunning) tree_.startMaintenance();
+    withPausedMaintenance([&] {
+      tree_.quiesceNow();
+      return 0;
+    });
   }
 
   SFTree& tree() { return tree_; }
 
  private:
   SFTree tree_;
+  shard::MaintenanceScheduler* scheduler_;
+  shard::MaintenanceScheduler::TreeHandle handle_ =
+      shard::MaintenanceScheduler::kInvalidHandle;
 };
 
 class RBTreeMap final : public ITransactionalMap {
@@ -204,14 +243,18 @@ std::unique_ptr<ITransactionalMap> makeMap(MapKind kind, stm::TxKind txKind,
       cfg.ops = OpsVariant::Portable;
       cfg.txKind = txKind;
       cfg.interPassPause = options.maintenanceThrottle;
-      return std::make_unique<SFTreeMap>(cfg);
+      return std::make_unique<SFTreeMap>(
+          cfg, options.name.empty() ? "SFtree" : options.name,
+          options.scheduler);
     }
     case MapKind::OptSFTree: {
       SFTreeConfig cfg;
       cfg.ops = OpsVariant::Optimized;
       cfg.txKind = txKind;
       cfg.interPassPause = options.maintenanceThrottle;
-      return std::make_unique<SFTreeMap>(cfg);
+      return std::make_unique<SFTreeMap>(
+          cfg, options.name.empty() ? "Opt-SFtree" : options.name,
+          options.scheduler);
     }
     case MapKind::NRTree: {
       SFTreeConfig cfg;

@@ -13,6 +13,10 @@
 #include "stm/stm.hpp"
 #include "trees/key.hpp"
 
+namespace sftree::shard {
+class MaintenanceScheduler;
+}
+
 namespace sftree::trees {
 
 class ITransactionalMap {
@@ -80,9 +84,17 @@ std::vector<MapKind> allMapKinds();
 // thread; ignored elsewhere).
 struct MapOptions {
   // Duty-cycle throttle for the rotator thread; 0 = run continuously as in
-  // the paper. The vacation application sets this so four trees' rotators
-  // do not starve the clients on small machines.
+  // the paper. Only used when the tree runs its own dedicated maintenance
+  // thread (scheduler == nullptr).
   std::chrono::microseconds maintenanceThrottle{0};
+  // Shared maintenance pool (not owned; must outlive the map). When set,
+  // trees that need restructuring are built externally maintained and
+  // register their maintenance pass with this scheduler instead of
+  // spawning a dedicated thread each.
+  shard::MaintenanceScheduler* scheduler = nullptr;
+  // Name for the scheduler entry (diagnostics: MaintenanceScheduler::
+  // treeStats). Defaults to the map kind's name.
+  std::string name;
 };
 
 // Factory. `txKind` selects the TM mode the tree's operations use

@@ -155,6 +155,7 @@ bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
       // Logically deleted: revive the node (abstraction-only update).
       curr->deleted.write(tx, false);
       curr->value.write(tx, v);
+      updateTicks_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     return false;
@@ -168,6 +169,7 @@ bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
   } else {
     curr->right.write(tx, nn);
   }
+  updateTicks_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -180,6 +182,7 @@ bool SFTree::eraseTx(stm::Tx& tx, Key k) {
   // operation never modifies the tree structure"); the maintenance thread
   // unlinks the node later.
   curr->deleted.write(tx, true);
+  updateTicks_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -455,16 +458,7 @@ void SFTree::stopMaintenance() {
 
 void SFTree::maintenanceLoop() {
   while (!stopFlag_.load(std::memory_order_acquire)) {
-    limbo_.openEpoch(registry_);
-    bool didWork = false;
-    SFNode* top = root_->left.loadAcquire();
-    maintainSubtree(root_, top, /*leftChild=*/true, didWork, 0);
-    limbo_.tryCollect(registry_);
-    {
-      std::lock_guard<std::mutex> lk(maintStatsMu_);
-      ++maintStats_.traversals;
-      maintStats_.nodesFreed = limbo_.freedTotal();
-    }
+    const bool didWork = runMaintenancePass(&stopFlag_);
     if (cfg_.interPassPause.count() > 0) {
       std::this_thread::sleep_for(cfg_.interPassPause);
     }
@@ -474,11 +468,28 @@ void SFTree::maintenanceLoop() {
   }
 }
 
+bool SFTree::runMaintenancePass(const std::atomic<bool>* cancel) {
+  limbo_.openEpoch(registry_);
+  bool didWork = false;
+  SFNode* top = root_->left.loadAcquire();
+  maintainSubtree(root_, top, /*leftChild=*/true, didWork, 0, cancel);
+  limbo_.tryCollect(registry_);
+  {
+    std::lock_guard<std::mutex> lk(maintStatsMu_);
+    ++maintStats_.traversals;
+    maintStats_.nodesFreed = limbo_.freedTotal();
+  }
+  return didWork;
+}
+
 int SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
-                            bool& didWork, int depth) {
+                            bool& didWork, int depth,
+                            const std::atomic<bool>* cancel) {
   if (node == nullptr) return 0;
   if (depth > kMaintenanceDepthLimit) return node->localH;
-  if (stopFlag_.load(std::memory_order_relaxed)) return node->localH;
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return node->localH;
+  }
 
   // Physical removal first: logically deleted nodes with at most one child
   // are unlinked (the transaction re-checks everything; the flags here are
@@ -495,7 +506,8 @@ int SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
       // Continue with whatever took the node's place.
       SFNode* replacement =
           leftChild ? parent->left.loadAcquire() : parent->right.loadAcquire();
-      return maintainSubtree(parent, replacement, leftChild, didWork, depth);
+      return maintainSubtree(parent, replacement, leftChild, didWork, depth,
+                             cancel);
     }
     std::lock_guard<std::mutex> lk(maintStatsMu_);
     ++maintStats_.failedStructuralOps;
@@ -505,10 +517,10 @@ int SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
   // "propagation"). These fields are maintenance-private.
   SFNode* l = node->left.loadAcquire();
   const int lh = maintainSubtree(node, l, /*leftChild=*/true, didWork,
-                                 depth + 1);
+                                 depth + 1, cancel);
   SFNode* r = node->right.loadAcquire();
   const int rh = maintainSubtree(node, r, /*leftChild=*/false, didWork,
-                                 depth + 1);
+                                 depth + 1, cancel);
   node->leftH = lh;
   node->rightH = rh;
   node->localH = std::max(lh, rh) + 1;
@@ -571,21 +583,8 @@ int SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
 int SFTree::quiesceNow(int maxPasses) {
   assert(!maintenanceThread_.joinable() &&
          "stop the maintenance thread before quiescing manually");
-  // stopMaintenance() leaves the flag set; clear it so the manual passes
-  // actually traverse.
-  stopFlag_.store(false, std::memory_order_release);
   for (int pass = 1; pass <= maxPasses; ++pass) {
-    limbo_.openEpoch(registry_);
-    bool didWork = false;
-    SFNode* top = root_->left.loadAcquire();
-    maintainSubtree(root_, top, /*leftChild=*/true, didWork, 0);
-    limbo_.tryCollect(registry_);
-    {
-      std::lock_guard<std::mutex> lk(maintStatsMu_);
-      ++maintStats_.traversals;
-      maintStats_.nodesFreed = limbo_.freedTotal();
-    }
-    if (!didWork) return pass;
+    if (!runMaintenancePass()) return pass;
   }
   return maxPasses;
 }

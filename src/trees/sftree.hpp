@@ -82,6 +82,11 @@ struct SFTreeConfig {
   // removal ("the no-restructuring tree does not physically remove nodes").
   bool rotations = true;
   bool removals = true;
+  // Spawn the dedicated background maintenance thread. Set to false either
+  // for the no-restructuring baseline or when the tree is *externally
+  // maintained*: an owner (e.g. shard::MaintenanceScheduler) drives
+  // runMaintenancePass() itself and multiplexes many trees onto a small
+  // worker pool.
   bool startMaintenance = true;
   // Pause between two depth-first maintenance traversals when the previous
   // one found no work, to avoid burning a core on an idle tree.
@@ -138,12 +143,28 @@ class SFTree {
   void startMaintenance();
   void stopMaintenance();
   bool maintenanceRunning() const { return maintenanceThread_.joinable(); }
+  // One full depth-first maintenance pass (propagation + rotations +
+  // physical removals + GC epoch) on the calling thread; returns true when
+  // the pass performed at least one structural change. This is the hook an
+  // external scheduler drives; at most one thread may run it at a time and
+  // it must not race the dedicated maintenance thread. `cancel` (optional)
+  // aborts the traversal early when set to true.
+  bool runMaintenancePass(const std::atomic<bool>* cancel = nullptr);
   // Runs maintenance traversals on the calling thread until a full pass
   // performs no structural change (tests; maintenance thread must be
   // stopped). Returns the number of passes.
   int quiesceNow(int maxPasses = 1000);
 
   MaintenanceStats maintenanceStats() const;
+
+  // Monotonic activity counter: bumped inside every update attempt that
+  // reached its write (insertTx/eraseTx, so composed operations count too).
+  // A hint, not an exact tally — aborted-and-retried transactions tick more
+  // than once, which is fine for its purpose: an external scheduler
+  // compares successive readings to tell hot trees from idle ones.
+  std::uint64_t updateTicks() const {
+    return updateTicks_.load(std::memory_order_relaxed);
+  }
 
   // --- introspection (quiesced use: no concurrent operations) --------------
   std::size_t abstractSize();        // number of non-deleted reachable keys
@@ -159,12 +180,14 @@ class SFTree {
   }
 
   const SFTreeConfig& config() const { return cfg_; }
+  // Transaction kind for update operations (elastic only when safe; see
+  // SFTreeConfig::txKind). Public so composed multi-tree operations (e.g.
+  // ShardedMap::move) run under the same safety rule as the tree's own.
+  stm::TxKind updateTxKind() const;
   SFNode* rootForTest() { return root_; }
   gc::ThreadRegistry& registryForTest() { return registry_; }
 
  private:
-  // Transaction kind for update operations (elastic only when safe).
-  stm::TxKind updateTxKind() const;
 
   // --- find (both variants) -------------------------------------------------
   // Returns the node with key k, or the node whose null child is the unique
@@ -196,7 +219,8 @@ class SFTree {
   // Depth-first pass: propagates heights, triggers rotations/removals.
   // Returns the local height of the subtree hanging off (parent, leftChild).
   int maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
-                      bool& didWork, int depth);
+                      bool& didWork, int depth,
+                      const std::atomic<bool>* cancel);
   void retireNode(SFNode* n);
 
   static void deleteNode(void* p) { delete static_cast<SFNode*>(p); }
@@ -213,6 +237,7 @@ class SFTree {
   mutable std::mutex maintStatsMu_;
 
   std::atomic<std::int64_t> sizeEstimate_{0};
+  std::atomic<std::uint64_t> updateTicks_{0};
 };
 
 }  // namespace sftree::trees

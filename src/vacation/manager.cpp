@@ -32,15 +32,28 @@ void deleteCustomerObj(void* p) { delete static_cast<Customer*>(p); }
 }  // namespace
 
 Manager::Manager(trees::MapKind tableKind, stm::TxKind txKind) {
-  // Four tables mean four rotator threads; on machines with fewer cores
-  // than the paper's 48, throttle their duty cycle so clients still run.
+  // The four tables (cars/flights/rooms/customers) share one maintenance
+  // worker pool: K workers (K < 4) multiplex the restructuring passes
+  // instead of four dedicated rotator threads starving the clients on
+  // small machines. The scheduler's
+  // per-tree backoff replaces the old duty-cycle throttle: cold tables
+  // cost nothing, hot tables get the passes.
   trees::MapOptions options;
-  if (std::thread::hardware_concurrency() < 8) {
-    options.maintenanceThrottle = std::chrono::microseconds(500);
+  if (tableKind == trees::MapKind::SFTree ||
+      tableKind == trees::MapKind::OptSFTree) {
+    shard::MaintenanceSchedulerConfig schedCfg;
+    schedCfg.workers = std::thread::hardware_concurrency() >= 8 ? 2 : 1;
+    maintScheduler_ =
+        std::make_unique<shard::MaintenanceScheduler>(schedCfg);
+    options.scheduler = maintScheduler_.get();
   }
   for (int t = 0; t < kNumReservationTypes; ++t) {
+    options.name =
+        std::string("vacation/") +
+        reservationTypeName(static_cast<ReservationType>(t)) + "s";
     tables_[t] = trees::makeMap(tableKind, txKind, options);
   }
+  options.name = "vacation/customers";
   customers_ = trees::makeMap(tableKind, txKind, options);
 }
 

@@ -10,6 +10,7 @@
 
 #include "gc/limbo_list.hpp"
 #include "gc/thread_registry.hpp"
+#include "shard/maintenance_scheduler.hpp"
 #include "trees/map_interface.hpp"
 #include "vacation/customer.hpp"
 #include "vacation/reservation.hpp"
@@ -64,12 +65,21 @@ class Manager {
   }
   trees::ITransactionalMap& customerTable() { return *customers_; }
 
+  // Null when the table kind needs no background restructuring.
+  shard::MaintenanceScheduler* maintenanceScheduler() {
+    return maintScheduler_.get();
+  }
+
  private:
   Reservation* findReservation(stm::Tx& tx, ReservationType type, Key id);
   Customer* findCustomer(stm::Tx& tx, Key customerId);
   void retireReservation(Reservation* r);
   void retireCustomer(Customer* c);
 
+  // One shared worker pool maintains all four tables (instead of four
+  // dedicated rotator threads). Declared before the tables: they must
+  // unregister (in their destructors) before the scheduler is destroyed.
+  std::unique_ptr<shard::MaintenanceScheduler> maintScheduler_;
   std::unique_ptr<trees::ITransactionalMap> tables_[kNumReservationTypes];
   std::unique_ptr<trees::ITransactionalMap> customers_;
 

@@ -1,0 +1,292 @@
+// ShardedMap: hash partitioning over N speculation-friendly trees with a
+// shared maintenance pool. Covers partition correctness, the map interface
+// against a sequential model, cross-shard move atomicity under concurrency,
+// consistent cross-shard range counts, and the aggregated size/stats view.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench_core/rng.hpp"
+#include "shard/maintenance_scheduler.hpp"
+#include "shard/sharded_map.hpp"
+#include "trees/tree_checks.hpp"
+
+namespace shard = sftree::shard;
+namespace trees = sftree::trees;
+namespace stm = sftree::stm;
+using sftree::Key;
+using sftree::Value;
+using sftree::bench::Rng;
+
+namespace {
+
+// Every key lives in exactly the shard shardIndexFor names; the per-shard
+// key sets are disjoint and their union is the whole map.
+TEST(ShardedMapTest, PartitionIsConsistentAndDisjoint) {
+  shard::MaintenanceSchedulerConfig schedCfg;
+  schedCfg.workers = 1;
+  shard::MaintenanceScheduler scheduler(schedCfg);
+
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 4;
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  constexpr Key kKeys = 2'000;
+  for (Key k = 0; k < kKeys; ++k) ASSERT_TRUE(map.insert(k, k * 10));
+
+  map.quiesce();
+  std::size_t total = 0;
+  std::vector<Key> all;
+  for (int i = 0; i < map.shardCount(); ++i) {
+    // Shard walk needs no pause here: the map is quiesced and idle.
+    const auto keys = map.shard(i).keysInOrder();
+    total += keys.size();
+    for (const Key k : keys) {
+      EXPECT_EQ(map.shardIndexFor(k), i)
+          << "key " << k << " found in a shard the partition does not name";
+      all.push_back(k);
+    }
+    // Each shard should hold a nontrivial slice (mixing hash, 2000 keys
+    // over 4 shards: an empty shard would mean broken partitioning).
+    EXPECT_GT(keys.size(), 0u);
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kKeys));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, map.keysInOrder());
+}
+
+// The full map interface against a std::map model, single-threaded,
+// including same-shard and cross-shard moves.
+TEST(ShardedMapTest, MatchesSequentialModel) {
+  shard::MaintenanceSchedulerConfig schedCfg;
+  schedCfg.workers = 2;
+  shard::MaintenanceScheduler scheduler(schedCfg);
+
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 5;  // non-power-of-two on purpose
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  std::map<Key, Value> model;
+  Rng rng(99);
+  constexpr Key kRange = 512;
+  for (int i = 0; i < 20'000; ++i) {
+    const Key k = static_cast<Key>(rng.nextBounded(kRange));
+    switch (rng.nextBounded(5)) {
+      case 0: {
+        const Value v = static_cast<Value>(i);
+        EXPECT_EQ(map.insert(k, v), model.emplace(k, v).second);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(map.erase(k), model.erase(k) > 0);
+        break;
+      case 2:
+        EXPECT_EQ(map.contains(k), model.count(k) > 0);
+        break;
+      case 3: {
+        const auto got = map.get(k);
+        const auto it = model.find(k);
+        EXPECT_EQ(got.has_value(), it != model.end());
+        if (got && it != model.end()) EXPECT_EQ(*got, it->second);
+        break;
+      }
+      default: {
+        const Key to = static_cast<Key>(rng.nextBounded(kRange));
+        bool expect = false;
+        auto it = model.find(k);
+        if (it != model.end() && model.count(to) == 0 && k != to) {
+          const Value v = it->second;
+          model.erase(it);
+          model.emplace(to, v);
+          expect = true;
+        }
+        EXPECT_EQ(map.move(k, to), expect) << "move " << k << "->" << to;
+        break;
+      }
+    }
+  }
+
+  map.quiesce();
+  std::vector<Key> expectKeys;
+  for (const auto& [k, v] : model) expectKeys.push_back(k);
+  EXPECT_EQ(map.keysInOrder(), expectKeys);
+  EXPECT_EQ(map.size(), model.size());
+  EXPECT_EQ(map.sizeEstimate(),
+            static_cast<std::int64_t>(model.size()));
+  for (int i = 0; i < map.shardCount(); ++i) {
+    auto res = trees::checkSFTree(map.shard(i));
+    EXPECT_TRUE(res.ok) << "shard " << i << ": " << res.error;
+  }
+}
+
+// Cross-shard move atomicity: tokens bounce between random slots while
+// observers take transactional snapshots; a key observed at both shards (or
+// neither) would change the observed cardinality.
+TEST(ShardedMapTest, CrossShardMoveIsAtomicUnderConcurrency) {
+  shard::MaintenanceSchedulerConfig schedCfg;
+  schedCfg.workers = 2;
+  shard::MaintenanceScheduler scheduler(schedCfg);
+
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 4;
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  // Tokens occupy `kTokens` distinct slots out of kRange; movers relocate
+  // them; the number of occupied slots is invariant under move.
+  constexpr Key kRange = 256;
+  constexpr int kTokens = 64;
+  for (Key k = 0; k < kTokens; ++k) ASSERT_TRUE(map.insert(k, 1'000 + k));
+
+  constexpr int kMovers = 2;
+  constexpr int kMovesPerThread = 25'000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> snapshotViolations{0};
+
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // One transaction spanning all shards: by commit-time consistency the
+      // count must equal kTokens at every linearization point.
+      const std::size_t seen = map.countRange(0, kRange - 1);
+      if (seen != kTokens) snapshotViolations.fetch_add(1);
+    }
+  });
+
+  std::barrier sync(kMovers);
+  std::vector<std::thread> movers;
+  for (int t = 0; t < kMovers; ++t) {
+    movers.emplace_back([&, t] {
+      Rng rng(777 + t);
+      sync.arrive_and_wait();
+      for (int i = 0; i < kMovesPerThread; ++i) {
+        const Key from = static_cast<Key>(rng.nextBounded(kRange));
+        const Key to = static_cast<Key>(rng.nextBounded(kRange));
+        map.move(from, to);
+      }
+    });
+  }
+  for (auto& th : movers) th.join();
+  stop.store(true, std::memory_order_release);
+  observer.join();
+
+  EXPECT_EQ(snapshotViolations.load(), 0)
+      << "a snapshot saw a moved key at both shards or at neither";
+
+  map.quiesce();
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kTokens));
+  EXPECT_EQ(map.sizeEstimate(), kTokens);
+
+  // Every token value survives exactly once (moves never duplicate or drop
+  // a payload).
+  std::vector<Value> values;
+  for (const Key k : map.keysInOrder()) {
+    const auto v = map.get(k);
+    ASSERT_TRUE(v.has_value());
+    values.push_back(*v);
+  }
+  std::sort(values.begin(), values.end());
+  for (int i = 0; i < kTokens; ++i) EXPECT_EQ(values[i], 1'000 + i);
+}
+
+// Concurrent inserts/erases from many threads: aggregated size and
+// sizeEstimate agree with per-key ground truth.
+TEST(ShardedMapTest, AggregatedSizeUnderConcurrency) {
+  shard::MaintenanceSchedulerConfig schedCfg;
+  schedCfg.workers = 1;  // K=1 < N=8: the pool is deliberately undersized
+  shard::MaintenanceScheduler scheduler(schedCfg);
+
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 8;
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  constexpr int kThreads = 4;
+  constexpr Key kRange = 128;
+  std::vector<std::atomic<std::int64_t>> net(kRange);
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(4'000 + t);
+      sync.arrive_and_wait();
+      for (int i = 0; i < 5'000; ++i) {
+        const Key k = static_cast<Key>(rng.nextBounded(kRange));
+        if (rng.nextBool()) {
+          if (map.insert(k, k)) net[k].fetch_add(1);
+        } else {
+          if (map.erase(k)) net[k].fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::int64_t expected = 0;
+  for (Key k = 0; k < kRange; ++k) {
+    ASSERT_GE(net[k].load(), 0);
+    ASSERT_LE(net[k].load(), 1);
+    expected += net[k].load();
+  }
+
+  map.quiesce();
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(expected));
+  EXPECT_EQ(map.sizeEstimate(), expected);
+
+  const auto stats = map.aggregatedStats();
+  EXPECT_EQ(stats.sizeEstimate, expected);
+  EXPECT_EQ(stats.shardSizeEstimates.size(), 8u);
+  std::int64_t sum = 0;
+  for (const auto est : stats.shardSizeEstimates) sum += est;
+  EXPECT_EQ(sum, expected);
+  // The undersized shared pool still performed real restructuring.
+  EXPECT_GT(stats.maintenance.traversals, 0u);
+}
+
+// countRangeTx composes with other operations in one transaction across
+// shards (the paper's §6 argument, now spanning trees).
+TEST(ShardedMapTest, ComposedCrossShardTransaction) {
+  shard::MaintenanceScheduler scheduler;
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 3;
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  for (Key k = 0; k < 100; ++k) map.insert(k, k);
+
+  // Atomically: count, insert into whatever shard 1000 hashes to, recount.
+  const auto counts = stm::atomically([&](stm::Tx& tx) {
+    const std::size_t before = map.countRangeTx(tx, 0, 2'000);
+    map.insertTx(tx, 1'000, 1);
+    const std::size_t after = map.countRangeTx(tx, 0, 2'000);
+    return std::make_pair(before, after);
+  });
+  EXPECT_EQ(counts.first, 100u);
+  EXPECT_EQ(counts.second, 101u);
+  EXPECT_TRUE(map.contains(1'000));
+}
+
+// Without a scheduler every shard runs its own dedicated maintenance
+// thread, exactly like N standalone paper trees.
+TEST(ShardedMapTest, DedicatedThreadsModeStillWorks) {
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 2;
+  cfg.scheduler = nullptr;
+  shard::ShardedMap map(cfg);
+
+  for (Key k = 0; k < 600; ++k) map.insert(k, k);
+  for (Key k = 0; k < 600; k += 3) map.erase(k);
+  map.quiesce();
+  EXPECT_EQ(map.size(), 400u);
+  for (int i = 0; i < map.shardCount(); ++i) {
+    EXPECT_TRUE(map.shard(i).maintenanceRunning());
+  }
+}
+
+}  // namespace
