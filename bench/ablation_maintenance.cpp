@@ -86,7 +86,14 @@ int main(int argc, char** argv) {
       {"none (NRtree)", false, false},
   };
 
-  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  bench::JsonReport json("ablation_maintenance");
+  json.meta()
+      .set("threads", threads)
+      .set("duration_ms", durationMs)
+      .set("size_log", sizeLog)
+      .set("update_percent", update);
+
+  stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
   for (const bool biased : {false, true}) {
     std::printf("\nAblation [%s workload, %.0f%% updates, %d threads] \n",
                 biased ? "biased" : "uniform", update, threads);
@@ -114,11 +121,19 @@ int main(int argc, char** argv) {
       table.addRow({v.name, bench::Table::num(result.opsPerMicrosecond()),
                     bench::Table::num(height), bench::Table::num(ms.rotations),
                     bench::Table::num(ms.removals)});
+      json.addRecord()
+          .set("variant", v.name)
+          .set("biased", biased)
+          .set("ops_per_us", result.opsPerMicrosecond())
+          .set("final_height", height)
+          .set("rotations", ms.rotations)
+          .set("removals", ms.removals)
+          .set("abort_ratio", result.stm.abortRatio());
     }
     table.print();
   }
   std::printf("\nExpected: under the biased workload the no-rotation "
               "variants degrade (tree degenerates);\nwith rotations the "
               "height stays logarithmic.\n");
-  return 0;
+  return json.writeFile(cli.jsonPath()) ? 0 : 1;
 }

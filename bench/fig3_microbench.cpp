@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       .set("duration_ms", durationMs)
       .set("size_log", sizeLog);
 
-  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
 
   for (const bool biased : {false, true}) {
     for (const double u : updates) {

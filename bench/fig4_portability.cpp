@@ -20,17 +20,17 @@ namespace {
 
 void runPanel(const char* title, stm::LockMode lockMode, stm::TxKind txKind,
               std::int64_t sizeLog, const std::vector<int>& threadCounts,
-              int durationMs,
+              int durationMs, bench::JsonReport& json,
               stm::TmBackend backend = stm::TmBackend::Orec) {
   const std::vector<trees::MapKind> kinds = {
       trees::MapKind::RBTree, trees::MapKind::SFTree, trees::MapKind::AVLTree};
   std::printf("\nFigure 4 [%s] throughput (ops/us), 10%% updates, set size "
               "2^%lld\n",
               title, static_cast<long long>(sizeLog));
-  auto cfg0 = stm::Runtime::instance().config();
+  auto cfg0 = stm::defaultDomain().config();
   cfg0.lockMode = lockMode;
   cfg0.backend = backend;
-  stm::Runtime::instance().setConfig(cfg0);
+  stm::defaultDomain().setConfig(cfg0);
   std::vector<std::string> header{"threads"};
   for (const auto kind : kinds) header.push_back(trees::mapKindName(kind));
   bench::Table table(header);
@@ -47,13 +47,20 @@ void runPanel(const char* title, stm::LockMode lockMode, stm::TxKind txKind,
       bench::populate(*map, cfg);
       const auto result = bench::runThroughput(*map, cfg);
       row.push_back(bench::Table::num(result.opsPerMicrosecond()));
+      json.addRecord()
+          .set("panel", title)
+          .set("tree", trees::mapKindName(kind))
+          .set("threads", threads)
+          .set("size_log", sizeLog)
+          .set("ops_per_us", result.opsPerMicrosecond())
+          .set("abort_ratio", result.stm.abortRatio());
     }
     table.addRow(row);
   }
   table.print();
   cfg0.lockMode = stm::LockMode::Lazy;
   cfg0.backend = stm::TmBackend::Orec;
-  stm::Runtime::instance().setConfig(cfg0);
+  stm::defaultDomain().setConfig(cfg0);
 }
 
 }  // namespace
@@ -67,14 +74,17 @@ int main(int argc, char** argv) {
   const auto estmSizeLog = cli.integer("estm-size-log", 13);
   const auto etlSizeLog = cli.integer("etl-size-log", 12);
 
+  bench::JsonReport json("fig4_portability");
+  json.meta().set("duration_ms", durationMs);
+
   runPanel("E-STM (elastic transactions)", stm::LockMode::Lazy,
-           stm::TxKind::Elastic, estmSizeLog, threadCounts, durationMs);
+           stm::TxKind::Elastic, estmSizeLog, threadCounts, durationMs, json);
   runPanel("TinySTM-ETL (eager acquirement)", stm::LockMode::Eager,
-           stm::TxKind::Normal, etlSizeLog, threadCounts, durationMs);
+           stm::TxKind::Normal, etlSizeLog, threadCounts, durationMs, json);
   // Beyond the paper: a third, metadata-free TM design (NOrec) — the
   // ordering between the trees should be preserved here as well.
   runPanel("NOrec (value-based validation)", stm::LockMode::Lazy,
-           stm::TxKind::Normal, etlSizeLog, threadCounts, durationMs,
+           stm::TxKind::Normal, etlSizeLog, threadCounts, durationMs, json,
            stm::TmBackend::NOrec);
-  return 0;
+  return json.writeFile(cli.jsonPath()) ? 0 : 1;
 }

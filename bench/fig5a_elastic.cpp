@@ -50,9 +50,14 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 5(a): speedup-1 (%%) over RBtree/normal, %d threads\n",
               threads);
+  bench::JsonReport json("fig5a_elastic");
+  json.meta()
+      .set("threads", threads)
+      .set("duration_ms", durationMs)
+      .set("size_log", sizeLog);
   bench::Table table(
       {"update%", "Elastic speedup", "SFtree speedup", "Opt SFtree speedup"});
-  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
   double sumElastic = 0, sumSf = 0, sumOpt = 0;
   for (const double u : updates) {
     const double base = measure(trees::MapKind::RBTree, stm::TxKind::Normal, u,
@@ -72,11 +77,20 @@ int main(int argc, char** argv) {
     sumOpt += so;
     table.addRow({bench::Table::num(u, 0), bench::Table::num(se, 1),
                   bench::Table::num(ss, 1), bench::Table::num(so, 1)});
+    json.addRecord()
+        .set("update_percent", u)
+        .set("rbtree_ops_per_us", base)
+        .set("elastic_ops_per_us", elastic)
+        .set("sftree_ops_per_us", sf)
+        .set("opt_sftree_ops_per_us", opt)
+        .set("elastic_speedup_percent", se)
+        .set("sftree_speedup_percent", ss)
+        .set("opt_sftree_speedup_percent", so);
   }
   table.print();
   const auto n = static_cast<double>(updates.size());
   std::printf("\naverages: elastic %.1f%%, SFtree %.1f%%, Opt SFtree %.1f%% "
               "(paper: ~15%% elastic vs ~22%% SF)\n",
               sumElastic / n, sumSf / n, sumOpt / n);
-  return 0;
+  return json.writeFile(cli.jsonPath()) ? 0 : 1;
 }

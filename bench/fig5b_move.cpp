@@ -31,8 +31,10 @@ int main(int argc, char** argv) {
   for (const double m : movePcts) {
     header.push_back(bench::Table::num(m, 0) + "% move");
   }
+  bench::JsonReport json("fig5b_move");
+  json.meta().set("duration_ms", durationMs).set("size_log", sizeLog);
   bench::Table table(header);
-  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
   for (const int threads : threadCounts) {
     std::vector<std::string> row{bench::Table::num(threads)};
     for (const double movePct : movePcts) {
@@ -47,9 +49,14 @@ int main(int argc, char** argv) {
       bench::populate(*map, cfg);
       const auto result = bench::runThroughput(*map, cfg);
       row.push_back(bench::Table::num(result.opsPerMicrosecond()));
+      json.addRecord()
+          .set("threads", threads)
+          .set("move_percent", movePct)
+          .set("ops_per_us", result.opsPerMicrosecond())
+          .set("abort_ratio", result.stm.abortRatio());
     }
     table.addRow(row);
   }
   table.print();
-  return 0;
+  return json.writeFile(cli.jsonPath()) ? 0 : 1;
 }

@@ -30,7 +30,12 @@ int main(int argc, char** argv) {
       trees::MapKind::RBTree, trees::MapKind::OptSFTree,
       trees::MapKind::NRTree};
 
-  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
+
+  bench::JsonReport json("fig6_vacation");
+  json.meta()
+      .set("base_transactions", baseTxns)
+      .set("relations", relations);
 
   for (const bool high : {true, false}) {
     for (const int mult : multipliers) {
@@ -74,11 +79,21 @@ int main(int argc, char** argv) {
           const double speedup = seqSeconds / result.seconds;
           row.push_back(bench::Table::num(result.seconds, 2) + "s (" +
                         bench::Table::num(speedup, 2) + "x)");
+          json.addRecord()
+              .set("contention", high ? "high" : "low")
+              .set("multiplier", mult)
+              .set("transactions", txns)
+              .set("tree", trees::mapKindName(kind))
+              .set("threads", threads)
+              .set("seconds", result.seconds)
+              .set("sequential_seconds", seqSeconds)
+              .set("speedup", speedup)
+              .set("abort_ratio", result.stm.abortRatio());
         }
         table.addRow(row);
       }
       table.print();
     }
   }
-  return 0;
+  return json.writeFile(cli.jsonPath()) ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "stm/stm.hpp"
@@ -92,7 +93,7 @@ void BM_WriteCommit(benchmark::State& state) {
 BENCHMARK(BM_WriteCommit)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_WriteCommitEager(benchmark::State& state) {
-  stm::Runtime::instance().setLockMode(stm::LockMode::Eager);
+  stm::defaultDomain().setLockMode(stm::LockMode::Eager);
   const auto writes = state.range(0);
   std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
   for (std::int64_t i = 0; i < writes; ++i) {
@@ -106,10 +107,36 @@ void BM_WriteCommitEager(benchmark::State& state) {
     });
   }
   state.SetItemsProcessed(state.iterations() * writes);
-  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
 }
 BENCHMARK(BM_WriteCommitEager)->Arg(1)->Arg(8)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accept the repo-wide
+// --json=<path> convention and map it onto google-benchmark's JSON
+// reporter, so every bench binary shares one machine-readable interface.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string outFlag;
+  std::string formatFlag = "--benchmark_out_format=json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--json=";
+    if (arg.rfind(prefix, 0) == 0) {
+      outFlag = "--benchmark_out=" + arg.substr(prefix.size());
+      args.erase(args.begin() + i);
+      args.push_back(outFlag.data());
+      args.push_back(formatFlag.data());
+      break;
+    }
+  }
+  int benchArgc = static_cast<int>(args.size());
+  benchmark::Initialize(&benchArgc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(benchArgc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

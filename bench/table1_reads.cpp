@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   for (const double u : updates) header.push_back(bench::Table::num(u, 0) + "%");
   bench::Table table(header);
 
-  stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+  stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
   for (const auto kind : kinds) {
     std::vector<std::string> row{trees::mapKindName(kind)};
     for (const double u : updates) {

@@ -27,7 +27,9 @@ RunResult runThroughput(trees::ITransactionalMap& map, const RunConfig& cfg) {
     std::uint64_t attempted = 0;
   };
 
-  stm::Runtime::instance().resetStats();
+  std::vector<stm::Domain*> domains = cfg.statsDomains;
+  if (domains.empty()) domains.push_back(&stm::defaultDomain());
+  for (stm::Domain* d : domains) d->resetStats();
 
   std::atomic<bool> stop{false};
   std::barrier sync(cfg.threads + 1);
@@ -79,7 +81,7 @@ RunResult runThroughput(trees::ITransactionalMap& map, const RunConfig& cfg) {
     result.effectiveUpdates += c.effective;
     result.attemptedUpdates += c.attempted;
   }
-  result.stm = stm::Runtime::instance().aggregateStats();
+  for (stm::Domain* d : domains) result.stm += d->aggregateStats();
   return result;
 }
 

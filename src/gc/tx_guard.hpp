@@ -1,0 +1,31 @@
+// Transaction-scoped operation bracket for quiescence-based reclamation.
+//
+// A plain gc::OpGuard signals completion when the operation body returns —
+// but a transactional operation's memory references outlive its body: the
+// enclosing transaction may revalidate (NOrec re-reads every logged
+// address by value) up to and including commit, long after the guard was
+// destroyed. Freeing a node between the body's return and the final
+// validation is a use-after-free the quiescence protocol exists to prevent,
+// so transactional operations must defer the completion signal to
+// transaction end (commit *or* abort — either way the last validation has
+// happened). Retried attempts re-register on re-execution.
+#pragma once
+
+#include "gc/thread_registry.hpp"
+#include "stm/tx.hpp"
+
+namespace sftree::gc {
+
+// Marks an abstract operation in flight on `reg` until the enclosing
+// transaction attempt ends. Replaces a stack OpGuard inside Tx-composable
+// operation bodies.
+inline void txOpGuard(sftree::stm::Tx& tx, ThreadRegistry& reg) {
+  ThreadRegistry::Slot& slot = reg.currentSlot();
+  slot.pending.store(true, std::memory_order_release);
+  tx.onTxEnd([&slot] {
+    slot.completed.fetch_add(1, std::memory_order_release);
+    slot.pending.store(false, std::memory_order_release);
+  });
+}
+
+}  // namespace sftree::gc

@@ -25,10 +25,30 @@ ShardedMap::ShardedMap(ShardedMapConfig cfg) : cfg_(std::move(cfg)) {
     throw std::invalid_argument("ShardedMap: shards must be >= 1");
   }
   const auto n = static_cast<std::size_t>(cfg_.shards);
+  if (cfg_.domainMode == DomainMode::PerShard) {
+    stm::Config domCfg = cfg_.stmConfig;
+    if (domCfg.orecLogSize == stm::Config{}.orecLogSize) {
+      // Keep the *total* orec footprint at the single-domain default: each
+      // shard sees ~1/N of the address traffic, so 1/N of the stripes give
+      // the same false-conflict rate — and N full-size tables would blow
+      // the cache instead of relieving it. (Floor of 2^16 = 512 KiB.)
+      std::uint32_t logN = 0;
+      while ((std::size_t{1} << logN) < n) ++logN;
+      domCfg.orecLogSize =
+          std::max<std::uint32_t>(16, domCfg.orecLogSize - logN);
+    }
+    domains_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      domains_.push_back(std::make_unique<stm::Domain>(domCfg));
+    }
+  }
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     trees::SFTreeConfig treeCfg = cfg_.tree;
     if (cfg_.scheduler != nullptr) treeCfg.startMaintenance = false;
+    treeCfg.domain = cfg_.domainMode == DomainMode::PerShard
+                         ? domains_[i].get()
+                         : cfg_.domain;
     shards_.push_back(std::make_unique<trees::SFTree>(treeCfg));
   }
   if (cfg_.scheduler != nullptr) {
@@ -60,6 +80,15 @@ std::size_t ShardedMap::hashShard(Key k) const {
 
 int ShardedMap::shardIndexFor(Key k) const {
   return static_cast<int>(hashShard(k));
+}
+
+std::vector<stm::Domain*> ShardedMap::domains() {
+  std::vector<stm::Domain*> out;
+  for (auto& s : shards_) {
+    stm::Domain* d = &s->domain();
+    if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+  }
+  return out;
 }
 
 // --------------------------------------------------------------------------
@@ -96,23 +125,28 @@ bool ShardedMap::move(Key from, Key to) {
   if (src == dst) return shards_[src]->move(from, to);
 
   // Cross-shard: one flat-nested transaction spanning both trees. The STM
-  // commit makes the erase and the insert visible atomically, so no reader
-  // can observe the key at both shards or at neither.
-  auto& st = stm::threadStats();
+  // commit makes the erase and the insert visible atomically — with
+  // per-shard domains via the descriptor's multi-domain commit (both
+  // domains' locks held, per-domain timestamps) — so no reader can observe
+  // the key at both shards or at neither. Rooting the transaction in the
+  // source shard's domain keeps the common path cheap; the destination
+  // domain is joined on first touch.
+  auto& st = stm::threadStats(shards_[src]->domain());
   st.beginOp();
-  const bool r = stm::atomically(updateTxKind(), [&](stm::Tx& tx) {
-    if (shards_[dst]->containsTx(tx, to)) return false;
-    const std::optional<Value> v = shards_[src]->getTx(tx, from);
-    if (!v) return false;
-    shards_[src]->eraseTx(tx, from);
-    if (!shards_[dst]->insertTx(tx, to, *v)) {
-      // Same subtlety as SFTree::move: under elastic reads a concurrent
-      // insert of `to` can slip past the earlier contains; retry rather
-      // than lose the moved key.
-      tx.restart();
-    }
-    return true;
-  });
+  const bool r = stm::atomically(
+      shards_[src]->domain(), updateTxKind(), [&](stm::Tx& tx) {
+        if (shards_[dst]->containsTx(tx, to)) return false;
+        const std::optional<Value> v = shards_[src]->getTx(tx, from);
+        if (!v) return false;
+        shards_[src]->eraseTx(tx, from);
+        if (!shards_[dst]->insertTx(tx, to, *v)) {
+          // Same subtlety as SFTree::move: under elastic reads a concurrent
+          // insert of `to` can slip past the earlier contains; retry rather
+          // than lose the moved key.
+          tx.restart();
+        }
+        return true;
+      });
   st.endOp();
   return r;
 }
@@ -127,10 +161,10 @@ std::size_t ShardedMap::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
 }
 
 std::size_t ShardedMap::countRange(Key lo, Key hi) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(homeDomain());
   st.beginOp();
-  const auto r =
-      stm::atomically([&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+  const auto r = stm::atomically(
+      homeDomain(), [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
 }
@@ -204,6 +238,14 @@ std::int64_t ShardedMap::sizeEstimate() const {
 
 ShardedMapStats ShardedMap::aggregatedStats() const {
   ShardedMapStats out;
+  // One STM snapshot per distinct clock domain.
+  if (cfg_.domainMode == DomainMode::PerShard) {
+    out.domainStats.reserve(domains_.size());
+    for (const auto& d : domains_) out.domainStats.push_back(d->aggregateStats());
+  } else {
+    out.domainStats.push_back(shards_.front()->domain().aggregateStats());
+  }
+  for (const auto& d : out.domainStats) out.stm += d;
   out.shardSizeEstimates.reserve(shards_.size());
   for (const auto& s : shards_) {
     const auto est = s->sizeEstimate();

@@ -5,11 +5,15 @@
 // restructuring, paper §3); the shards' maintenance is multiplexed onto a
 // shared MaintenanceScheduler worker pool instead of N dedicated rotator
 // threads. Single-key operations touch exactly one shard, so transactions
-// on different shards share no tree nodes and conflict only on the global
-// STM clock; cross-shard operations (move, countRange, sizeTx) compose the
-// per-shard transactional pieces inside one flat-nested transaction, which
-// keeps them atomic across shards for free — the STM runtime is
-// process-global, not per-tree.
+// on different shards share no tree nodes; with per-shard clock domains
+// (DomainMode::PerShard) they share no STM metadata either — each shard
+// owns a full stm::Domain, so the shards scale like N independent trees
+// with no residual version-clock contention. Cross-shard operations (move,
+// countRange, sizeTx) compose the per-shard transactional pieces inside one
+// flat-nested transaction; when shards live on different clock domains the
+// descriptor joins every touched domain and commits with per-domain
+// timestamps under an ordered multi-domain acquisition (see docs/stm.md),
+// which keeps them atomic across shards.
 #pragma once
 
 #include <atomic>
@@ -19,22 +23,39 @@
 #include <vector>
 
 #include "shard/maintenance_scheduler.hpp"
+#include "stm/domain.hpp"
 #include "trees/map_interface.hpp"
 #include "trees/sftree.hpp"
 
 namespace sftree::shard {
 
+// Which STM clock domain(s) the shards commit against. Shared keeps every
+// shard on one domain (cross-shard operations stay single-clock); PerShard
+// gives each shard its own domain (single-key throughput scales further,
+// cross-shard operations pay the multi-domain commit). See
+// docs/sharding.md for guidance.
+enum class DomainMode : std::uint8_t { Shared, PerShard };
+
 struct ShardedMapConfig {
   int shards = 4;
   // Per-shard tree configuration. When a scheduler is supplied,
   // tree.startMaintenance is ignored: shards are built externally
-  // maintained and registered with the scheduler instead.
+  // maintained and registered with the scheduler instead. tree.domain is
+  // overridden according to domainMode.
   trees::SFTreeConfig tree{};
   // Shared maintenance pool (not owned; must outlive the map). When null,
   // every shard runs its own dedicated maintenance thread, as in the paper.
   MaintenanceScheduler* scheduler = nullptr;
   // Prefix for the shards' scheduler entries (diagnostics).
   std::string name = "shard";
+  // STM clock domain layout (see above).
+  DomainMode domainMode = DomainMode::Shared;
+  // Shared mode: the domain every shard runs on (not owned; must outlive
+  // the map); null selects the process default.
+  stm::Domain* domain = nullptr;
+  // PerShard mode: the configuration each owned per-shard domain is
+  // constructed with.
+  stm::Config stmConfig{};
 };
 
 // Aggregated view over all shards. The total sizeEstimate is exact once all
@@ -45,6 +66,11 @@ struct ShardedMapStats {
   std::int64_t sizeEstimate = 0;
   std::vector<std::int64_t> shardSizeEstimates;
   trees::MaintenanceStats maintenance;  // summed over shards
+  // STM statistics per clock domain: one entry per shard in PerShard mode,
+  // a single entry for the shared domain otherwise. Snapshots are exact
+  // only while no transactions are in flight.
+  std::vector<stm::ThreadStats> domainStats;
+  stm::ThreadStats stm;  // sum over domainStats
 };
 
 class ShardedMap final : public trees::ITransactionalMap {
@@ -87,6 +113,19 @@ class ShardedMap final : public trees::ITransactionalMap {
   int shardIndexFor(Key k) const;
   trees::SFTree& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
 
+  // The clock domain shard i commits against (shard i's own domain in
+  // PerShard mode; the shared one otherwise).
+  stm::Domain& domainOf(int i) {
+    return shards_[static_cast<std::size_t>(i)]->domain();
+  }
+  bool perShardDomains() const {
+    return cfg_.domainMode == DomainMode::PerShard;
+  }
+  // Every distinct domain the map's transactions touch (deduplicated; one
+  // entry in Shared mode, shards() entries in PerShard mode). Useful for
+  // resetting/aggregating statistics around a benchmark run.
+  std::vector<stm::Domain*> domains();
+
   // Committed-size estimate summed over the shards; exact once all
   // operations have returned (like SFTree::sizeEstimate).
   std::int64_t sizeEstimate() const;
@@ -102,8 +141,15 @@ class ShardedMap final : public trees::ITransactionalMap {
   void resumeAllMaintenance(const std::vector<bool>& wasRunning);
 
   stm::TxKind updateTxKind() const;
+  // The domain map-level (multi-shard) transactions are rooted in: the
+  // shared domain, or the first shard's domain in PerShard mode (the
+  // remaining domains are joined as the transaction touches them).
+  stm::Domain& homeDomain() { return shards_.front()->domain(); }
 
   ShardedMapConfig cfg_;
+  // Owned per-shard clock domains (PerShard mode; empty otherwise).
+  // Declared before shards_ so they outlive the trees during destruction.
+  std::vector<std::unique_ptr<stm::Domain>> domains_;
   std::vector<std::unique_ptr<trees::SFTree>> shards_;
   std::vector<MaintenanceScheduler::TreeHandle> handles_;
 };

@@ -1,4 +1,4 @@
-// Global version clock (TL2 / TinySTM style).
+// Version clock (TL2 / TinySTM style), one per stm::Domain.
 #pragma once
 
 #include <atomic>
@@ -6,8 +6,9 @@
 
 namespace sftree::stm {
 
-// A monotonically increasing commit timestamp shared by all transactions.
-// Read at transaction begin (snapshot), incremented once per writing commit.
+// A monotonically increasing commit timestamp shared by all transactions
+// running against one domain. Read at transaction begin (snapshot),
+// incremented once per writing commit.
 class GlobalClock {
  public:
   std::uint64_t now() const { return time_.load(std::memory_order_acquire); }

@@ -42,6 +42,13 @@ struct Config {
   // Contention management: bounded randomized exponential backoff.
   std::uint32_t backoffMinSpins = 32;
   std::uint32_t backoffMaxSpins = 1 << 14;
+  // log2 of the domain's orec table size (2^20 orecs * 8 B = 8 MiB, the
+  // TinySTM-scale default). A process running many domains should shrink
+  // each domain's table: a domain that guards 1/N of the address traffic
+  // needs 1/N of the stripes for the same false-conflict rate, and the
+  // combined tables otherwise blow the cache (ShardedMap does this
+  // automatically for per-shard domains).
+  std::uint32_t orecLogSize = 20;
 };
 
 }  // namespace sftree::stm

@@ -39,18 +39,25 @@ inline Tx* owner(OrecWord w) {
 
 }  // namespace orec
 
-// A fixed-size, process-wide striped lock/version table. The table is
-// deliberately not resizable: the memory addressed by transactions maps onto
-// it by hashing, exactly as in TinySTM's ownership array.
+// A fixed-size striped lock/version table, one per stm::Domain. The table
+// is deliberately not resizable: the memory addressed by transactions maps
+// onto it by hashing, exactly as in TinySTM's ownership array.
 class OrecTable {
  public:
-  // 2^20 orecs * 8 B = 8 MiB. Large enough that false conflicts are rare in
-  // the benchmarks, small enough to stay cache-friendly. Tests can exercise
-  // hash collisions by artificially shrinking the mask (see maskForTest).
+  // Default: 2^20 orecs * 8 B = 8 MiB. Large enough that false conflicts
+  // are rare in the benchmarks, small enough to stay cache-friendly. A
+  // domain guarding a fraction of the process's transactional traffic can
+  // be constructed smaller (Config::orecLogSize). Tests can additionally
+  // exercise hash collisions by artificially shrinking the mask (see
+  // maskForTest).
   static constexpr std::size_t kLogSize = 20;
   static constexpr std::size_t kSize = std::size_t{1} << kLogSize;
 
-  OrecTable() : mask_(kSize - 1) {}
+  explicit OrecTable(std::size_t logSize = kLogSize)
+      : size_(std::size_t{1} << logSize),
+        mask_(size_ - 1),
+        // Value-initialized: all orecs start unlocked at version 0.
+        table_(std::make_unique<std::atomic<OrecWord>[]>(size_)) {}
 
   std::atomic<OrecWord>* forAddress(const void* addr) {
     // Word-granularity mapping with a Fibonacci multiplicative mix so that
@@ -68,14 +75,13 @@ class OrecTable {
     for (std::size_t i = 0; i <= mask_; ++i) {
       table_[i].store(0, std::memory_order_relaxed);
     }
-    mask_ = kSize - 1;
+    mask_ = size_ - 1;
   }
 
  private:
+  std::size_t size_;
   std::size_t mask_;
-  // Value-initialized: all orecs start unlocked at version 0.
-  std::unique_ptr<std::atomic<OrecWord>[]> table_ =
-      std::make_unique<std::atomic<OrecWord>[]>(kSize);
+  std::unique_ptr<std::atomic<OrecWord>[]> table_;
 };
 
 }  // namespace sftree::stm

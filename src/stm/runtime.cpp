@@ -4,47 +4,61 @@
 
 namespace sftree::stm {
 
-Runtime& Runtime::instance() {
-  static Runtime rt;
-  return rt;
-}
-
-void Runtime::registerTx(Tx* tx) {
-  std::lock_guard<std::mutex> lk(mu_);
-  live_.push_back(tx);
-}
-
-void Runtime::unregisterTx(Tx* tx) {
-  std::lock_guard<std::mutex> lk(mu_);
-  departed_ += tx->stats();
-  live_.erase(std::remove(live_.begin(), live_.end(), tx), live_.end());
-}
-
-ThreadStats Runtime::aggregateStats() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ThreadStats total = departed_;
-  for (Tx* tx : live_) total += tx->stats();
-  return total;
-}
-
-void Runtime::resetStats() {
-  std::lock_guard<std::mutex> lk(mu_);
-  departed_.reset();
-  for (Tx* tx : live_) tx->stats().reset();
-}
-
 namespace detail {
 
-ThreadContext::~ThreadContext() {
-  if (tx) Runtime::instance().unregisterTx(tx.get());
-}
+ThreadContext::~ThreadContext() { retireThreadSlots(slots); }
 
 Tx& ThreadContext::acquire() {
-  if (!tx) {
-    tx = std::make_unique<Tx>(Runtime::instance());
-    Runtime::instance().registerTx(tx.get());
-  }
+  if (!tx) tx = std::make_unique<Tx>();
   return *tx;
+}
+
+ThreadStats& ThreadContext::statsFor(Domain& d) {
+  // Fast path: direct-mapped cache hit whose slot still belongs to `d`. A
+  // slot whose domain died reads null here and falls through to the slow
+  // path — so a recycled Domain address can never alias a stale slot.
+  const std::size_t bucket =
+      (reinterpret_cast<std::uintptr_t>(&d) >> 6) & (kSlotCacheSize - 1);
+  StatsSlot* cached = slotCache[bucket];
+  if (cached != nullptr &&
+      cached->domain.load(std::memory_order_relaxed) == &d) {
+    return cached->stats;
+  }
+  // Slow path: one scan of this thread's slots; dead slots (their domain
+  // was destroyed and nulled the back-pointer) are pruned only when one is
+  // actually seen. Relaxed reads are enough: only this thread's own
+  // entries are inspected, and a dying domain nulls its slots before its
+  // address can be reused.
+  StatsSlot* found = nullptr;
+  bool sawDead = false;
+  for (const auto& s : slots) {
+    Domain* sd = s->domain.load(std::memory_order_relaxed);
+    if (sd == &d) {
+      found = s.get();
+      break;
+    }
+    sawDead |= (sd == nullptr);
+  }
+  if (sawDead) {
+    // Evict cache entries that point at slots about to be freed — the
+    // cache stores raw pointers, and a dangling one could later be
+    // revalidated against recycled memory.
+    for (auto& c : slotCache) {
+      if (c != nullptr && c->domain.load(std::memory_order_relaxed) == nullptr) {
+        c = nullptr;
+      }
+    }
+    slots.erase(std::remove_if(slots.begin(), slots.end(),
+                               [](const std::shared_ptr<StatsSlot>& s) {
+                                 return s->domain.load(
+                                            std::memory_order_relaxed) ==
+                                        nullptr;
+                               }),
+                slots.end());
+  }
+  if (found == nullptr) found = attachSlotFor(d, slots);
+  slotCache[bucket] = found;
+  return found->stats;
 }
 
 ThreadContext& context() {
@@ -71,7 +85,7 @@ inline std::uint64_t nextRandom(std::uint64_t& s) {
 }  // namespace
 
 void backoff(Tx& tx) {
-  const Config& cfg = Runtime::instance().config();
+  const Config& cfg = tx.rootDomain().config();
   const std::uint32_t shift = std::min<std::uint32_t>(tx.attempts(), 16);
   std::uint64_t ceiling = std::uint64_t{cfg.backoffMinSpins} << shift;
   ceiling = std::min<std::uint64_t>(ceiling, cfg.backoffMaxSpins);
@@ -90,6 +104,8 @@ bool inTransaction() {
 
 Tx& currentTx() { return *detail::context().tx; }
 
-ThreadStats& threadStats() { return detail::context().acquire().stats(); }
+ThreadStats& threadStats(Domain& d) { return detail::context().statsFor(d); }
+
+ThreadStats& threadStats() { return threadStats(defaultDomain()); }
 
 }  // namespace sftree::stm

@@ -1,70 +1,39 @@
-// Process-wide STM runtime: clock, orec table, configuration and the thread
-// registry used for statistics aggregation.
+// Per-thread transaction context, retry backoff, and the legacy singleton
+// shim. The process-global state the old `Runtime` singleton held now lives
+// in instantiable stm::Domain objects (see domain.hpp); this header keeps
+// the thread-side machinery: one lazily created transaction descriptor per
+// thread, plus the per-(thread, domain) statistics slots.
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
-#include "stm/clock.hpp"
-#include "stm/config.hpp"
-#include "stm/orec.hpp"
+#include "stm/domain.hpp"
 #include "stm/stats.hpp"
 #include "stm/tx.hpp"
 
 namespace sftree::stm {
 
-class Runtime {
- public:
-  static Runtime& instance();
-
-  GlobalClock& clock() { return clock_; }
-  OrecTable& orecs() { return orecs_; }
-  // NOrec global sequence lock: even = free, odd = a writer is committing.
-  std::atomic<std::uint64_t>& norecSeq() { return norecSeq_; }
-
-  const Config& config() const { return config_; }
-  // Must only be called while no transaction is running (e.g. between
-  // benchmark phases); the lock mode is read at every write/commit.
-  void setConfig(const Config& c) { config_ = c; }
-  void setLockMode(LockMode m) { config_.lockMode = m; }
-
-  // --- thread registry -----------------------------------------------------
-  // Descriptors register on creation so that aggregate statistics include
-  // every thread that ever ran transactions (departed threads fold their
-  // stats into `departed_`).
-  void registerTx(Tx* tx);
-  void unregisterTx(Tx* tx);
-
-  // Sum of all per-thread statistics. Only exact when no transactions are in
-  // flight; during a run it is an (acceptable) racy snapshot for progress
-  // reporting.
-  ThreadStats aggregateStats();
-  // Zeroes every registered thread's counters (quiescent use only).
-  void resetStats();
-
- private:
-  Runtime() = default;
-
-  GlobalClock clock_;
-  OrecTable orecs_;
-  Config config_;
-  alignas(64) std::atomic<std::uint64_t> norecSeq_{0};
-
-  std::mutex mu_;
-  std::vector<Tx*> live_;
-  ThreadStats departed_;
-};
-
 namespace detail {
 
 // Per-thread transaction context. The descriptor is created lazily on the
-// first atomically() and unregistered when the thread exits.
+// first atomically() and its per-domain statistics slots are folded back
+// into their domains when the thread exits.
 struct ThreadContext {
   std::unique_ptr<Tx> tx;
+  std::vector<std::shared_ptr<StatsSlot>> slots;
+  // Direct-mapped slot cache keyed on the domain pointer: a thread driving
+  // a per-shard map alternates domains on every operation, so a single
+  // most-recently-used entry would miss almost always. Entries self-
+  // invalidate (a dead domain nulls its slots' back-pointers), so a stale
+  // entry can never alias a new domain at the same address.
+  static constexpr std::size_t kSlotCacheSize = 16;  // power of two
+  StatsSlot* slotCache[kSlotCacheSize] = {};
 
   ~ThreadContext();
   Tx& acquire();
+  // The calling thread's statistics slot for `d` (created on first use).
+  ThreadStats& statsFor(Domain& d);
 };
 
 ThreadContext& context();
@@ -80,7 +49,17 @@ bool inTransaction();
 // The calling thread's active transaction. Precondition: inTransaction().
 Tx& currentTx();
 
-// The calling thread's statistics (descriptor created on demand).
+// The calling thread's statistics against `d` (slot created on demand).
+ThreadStats& threadStats(Domain& d);
+// Convenience overload for the default process domain.
 ThreadStats& threadStats();
+
+// Legacy shim for the pre-domain singleton API: `Runtime::instance()` is
+// the default process domain. New code should use stm::defaultDomain() or
+// carry an explicit Domain.
+class Runtime {
+ public:
+  static Domain& instance() { return defaultDomain(); }
+};
 
 }  // namespace sftree::stm

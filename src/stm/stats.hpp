@@ -6,12 +6,39 @@
 // bracket" (beginOp/endOp): data-structure operations wrap each abstract
 // operation in a bracket and the STM accumulates reads into it across
 // retries.
+//
+// Counters live in per-(thread, domain) slots that an aggregator may read
+// while the owning thread is still running transactions. All mutations and
+// snapshot reads therefore go through relaxed single-word atomics: the
+// owning thread is the only writer, so the compiled fast path is a plain
+// load/add/store, while concurrent snapshots stay well-defined (they remain
+// *semantically* racy — a snapshot taken mid-run mixes counters from
+// different instants, which is fine for progress reporting).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 namespace sftree::stm {
+
+namespace detail {
+
+inline std::uint64_t statLoad(const std::uint64_t& c) {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(c))
+      .load(std::memory_order_relaxed);
+}
+
+inline void statStore(std::uint64_t& c, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t>(c).store(v, std::memory_order_relaxed);
+}
+
+// Single-writer increment: compiles to a plain add, no lock prefix.
+inline void statBump(std::uint64_t& c, std::uint64_t delta = 1) {
+  statStore(c, statLoad(c) + delta);
+}
+
+}  // namespace detail
 
 struct ThreadStats {
   std::uint64_t commits = 0;
@@ -24,7 +51,8 @@ struct ThreadStats {
 
   // Operation bracket (Table 1 instrumentation). Reentrant: nested brackets
   // (an operation composed into an enclosing one, e.g. inside vacation
-  // transactions) fold into the outermost bracket.
+  // transactions) fold into the outermost bracket. Bracket-internal state
+  // (opReads, opDepth, opOpen) is owner-thread-only and never aggregated.
   std::uint64_t ops = 0;
   std::uint64_t opReads = 0;      // reads since beginOp, across retries
   std::uint64_t maxOpReads = 0;
@@ -42,24 +70,63 @@ struct ThreadStats {
     if (opDepth > 0 && --opDepth > 0) return;
     if (!opOpen) return;
     opOpen = false;
-    ++ops;
-    totalOpReads += opReads;
-    maxOpReads = std::max(maxOpReads, opReads);
+    detail::statBump(ops);
+    detail::statBump(totalOpReads, opReads);
+    detail::statStore(maxOpReads,
+                      std::max(detail::statLoad(maxOpReads), opReads));
   }
 
   void onRead() {
-    ++reads;
+    detail::statBump(reads);
     if (opOpen) ++opReads;
   }
 
   void onUread() {
-    ++ureads;
+    detail::statBump(ureads);
     // Unit loads are deliberately *not* counted as transactional reads in
     // the operation bracket: Table 1 counts reads that incur TM bookkeeping.
   }
 
-  void reset() { *this = ThreadStats{}; }
+  void onWrite() { detail::statBump(writes); }
+  void onCommit() { detail::statBump(commits); }
+  void onAbort() { detail::statBump(aborts); }
+  void onElasticCut() { detail::statBump(elasticCuts); }
+  void onSnapshotExtension() { detail::statBump(snapshotExtensions); }
 
+  // Concurrency-safe copy of the aggregatable counters (bracket internals
+  // are left at their defaults). Used when summing over live slots.
+  ThreadStats snapshot() const {
+    ThreadStats out;
+    out.commits = detail::statLoad(commits);
+    out.aborts = detail::statLoad(aborts);
+    out.reads = detail::statLoad(reads);
+    out.ureads = detail::statLoad(ureads);
+    out.writes = detail::statLoad(writes);
+    out.elasticCuts = detail::statLoad(elasticCuts);
+    out.snapshotExtensions = detail::statLoad(snapshotExtensions);
+    out.ops = detail::statLoad(ops);
+    out.totalOpReads = detail::statLoad(totalOpReads);
+    out.maxOpReads = detail::statLoad(maxOpReads);
+    return out;
+  }
+
+  // Quiescent use only (no transactions in flight on this slot's thread,
+  // or the loss of in-flight increments is acceptable).
+  void reset() {
+    detail::statStore(commits, 0);
+    detail::statStore(aborts, 0);
+    detail::statStore(reads, 0);
+    detail::statStore(ureads, 0);
+    detail::statStore(writes, 0);
+    detail::statStore(elasticCuts, 0);
+    detail::statStore(snapshotExtensions, 0);
+    detail::statStore(ops, 0);
+    detail::statStore(totalOpReads, 0);
+    detail::statStore(maxOpReads, 0);
+  }
+
+  // Plain aggregation of two private copies (not concurrency-safe; use
+  // snapshot() to lift a live slot into a private copy first).
   ThreadStats& operator+=(const ThreadStats& o) {
     commits += o.commits;
     aborts += o.aborts;

@@ -1,9 +1,11 @@
 #include "stm/tx.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <numeric>
 
-#include "stm/runtime.hpp"
+#include "stm/domain.hpp"
 
 namespace sftree::stm {
 
@@ -35,46 +37,92 @@ inline void cpuRelax() {
 #endif
 }
 
+// Bound on waiting for another domain's NOrec writer while this transaction
+// itself holds one or more sequence locks. Two cross-domain writers waiting
+// for each other's lock would otherwise spin forever; past the bound the
+// younger wait aborts (randomized backoff then breaks the symmetry).
+constexpr std::uint64_t kNorecHeldSpinLimit = 1 << 12;
+
 }  // namespace
 
-Tx::Tx(Runtime& rt) : rt_(rt) {
+Tx::Tx() {
   readSet_.reserve(256);
   writeSet_.reserve(64);
-  window_.reserve(rt.config().elasticWindow);
+  views_.reserve(4);
 }
 
 Tx::~Tx() = default;
 
-void Tx::begin(TxKind kind) {
+std::uint64_t Tx::norecWaitEven(Domain& d) {
+  for (;;) {
+    const std::uint64_t s = d.norecSeq().load(std::memory_order_acquire);
+    if ((s & 1) == 0) return s;
+    cpuRelax();
+  }
+}
+
+void Tx::begin(Domain& d, TxKind kind, ThreadStats& stats) {
   assert(!active_ && "flat nesting is handled by stm::atomically");
+  stats_ = &stats;
   kind_ = kind;
   active_ = true;
-  backend_ = rt_.config().backend;
+  cfg_ = d.config();
+  backend_ = cfg_.backend;
+  views_.clear();
+  views_.push_back(DomainView{&d});
+  curView_ = 0;
   if (backend_ == TmBackend::NOrec) {
     // NOrec has no per-location metadata; elastic windows do not apply.
     elasticPhase_ = false;
-    // Snapshot: wait until no writer holds the global sequence lock.
-    for (;;) {
-      const std::uint64_t s =
-          rt_.norecSeq().load(std::memory_order_acquire);
-      if ((s & 1) == 0) {
-        rv_ = s;
-        break;
-      }
-    }
+    // Snapshot: wait until no writer holds the domain's sequence lock.
+    views_[0].rv = norecWaitEven(d);
   } else {
     elasticPhase_ = (kind == TxKind::Elastic);
-    rv_ = rt_.clock().now();
+    views_[0].rv = d.clock().now();
   }
   readSet_.clear();
   valueLog_.clear();
   writeSet_.clear();
   speculativeAllocs_.clear();
   commitHooks_.clear();
+  txEndHooks_.clear();
   writeSigs_ = 0;
   window_.clear();
+  window_.reserve(cfg_.elasticWindow);
   windowNext_ = 0;
   ++attempts_;
+}
+
+std::size_t Tx::enterDomain(Domain& d) {
+  assert(active_ && "DomainScope requires an active transaction");
+  const std::size_t prev = curView_;
+  if (views_[curView_].domain == &d) return prev;
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (views_[i].domain == &d) {
+      curView_ = i;
+      return prev;
+    }
+  }
+  // Join a new clock domain mid-transaction with a fresh snapshot. The
+  // join is a snapshot *advance* in real time: the new domain's clock may
+  // already reflect cross-domain commits that invalidated reads this
+  // transaction performed earlier, so — exactly like a snapshot extension —
+  // everything read so far must be revalidated before any value from the
+  // new snapshot becomes visible. Without this, a reader could see the old
+  // half of a cross-domain commit in one domain and the new half in the
+  // other.
+  assert(d.config().backend == backend_ &&
+         "all domains joined by one transaction must share a TM backend");
+  DomainView v{&d};
+  v.rv = (backend_ == TmBackend::NOrec) ? norecWaitEven(d) : d.clock().now();
+  views_.push_back(v);
+  curView_ = views_.size() - 1;
+  if (backend_ == TmBackend::NOrec) {
+    if (!valueLog_.empty()) norecValidate();
+  } else if (!readSet_.empty() || !window_.empty()) {
+    if (!validateReadSet()) abortSelf();
+  }
+  return prev;
 }
 
 [[noreturn]] void Tx::abortSelf() { throw TxAbort{}; }
@@ -82,12 +130,14 @@ void Tx::begin(TxKind kind) {
 [[noreturn]] void Tx::restart() { abortSelf(); }
 
 void Tx::onAbort() {
-  releaseHeldLocks(/*restoreOldVersion=*/true, /*newVersion=*/0);
+  releaseHeldLocks(/*restoreOldVersion=*/true);
+  releaseNorecSeqLocks();
   for (const AllocEntry& a : speculativeAllocs_) a.deleter(a.ptr);
   speculativeAllocs_.clear();
   commitHooks_.clear();
-  ++stats_.aborts;
+  if (stats_ != nullptr) stats_->onAbort();
   active_ = false;
+  runTxEndHooks();
 }
 
 void Tx::onAbortDelete(void* ptr, void (*deleter)(void*)) {
@@ -96,6 +146,10 @@ void Tx::onAbortDelete(void* ptr, void (*deleter)(void*)) {
 
 void Tx::onCommit(std::function<void()> hook) {
   commitHooks_.push_back(std::move(hook));
+}
+
+void Tx::onTxEnd(std::function<void()> hook) {
+  txEndHooks_.push_back(std::move(hook));
 }
 
 Tx::WriteEntry* Tx::findWrite(const Word* addr) {
@@ -127,7 +181,8 @@ Tx::SampledWord Tx::sampleCommitted(const Word* addr,
         // We hold the lock (eager mode). Memory still has the committed
         // value because writes are buffered until commit.
         WriteEntry* we = findWriteByOrec(orec);
-        return {atomicLoadWord(addr), we ? we->prevVersion : rv_};
+        return {atomicLoadWord(addr),
+                we ? we->prevVersion : views_[curView_].rv};
       }
       if (spinOnLock) {
         cpuRelax();
@@ -147,12 +202,13 @@ Word Tx::read(const Word* addr) {
   assert(active_);
   if ((writeSigs_ & addressSignature(addr)) != 0) {
     if (WriteEntry* we = findWrite(addr)) {
-      stats_.onRead();
+      stats_->onRead();
       return we->value;
     }
   }
   if (backend_ == TmBackend::NOrec) return norecRead(addr);
-  std::atomic<OrecWord>* orec = rt_.orecs().forAddress(addr);
+  DomainView& v = views_[curView_];
+  std::atomic<OrecWord>* orec = v.domain->orecs().forAddress(addr);
 
   if (elasticPhase_) {
     // Hand-over-hand: the new read must be consistent with the (at most
@@ -160,21 +216,21 @@ Word Tx::read(const Word* addr) {
     SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/false);
     elasticValidateWindow();
     elasticRecord(orec, s.version);
-    if (s.version > rv_) rv_ = s.version;
-    stats_.onRead();
+    if (s.version > v.rv) v.rv = s.version;
+    stats_->onRead();
     return s.value;
   }
 
   for (;;) {
     SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/false);
-    if (s.version > rv_) {
-      // The location is newer than our snapshot: try to slide the snapshot
-      // forward (lazy snapshot extension) and re-sample.
-      extendSnapshot();
+    if (s.version > v.rv) {
+      // The location is newer than our snapshot of its domain: try to slide
+      // the snapshot forward (lazy snapshot extension) and re-sample.
+      extendSnapshot(curView_);
       continue;
     }
     readSet_.push_back(ReadEntry{orec, s.version});
-    stats_.onRead();
+    stats_->onRead();
     return s.value;
   }
 }
@@ -183,20 +239,21 @@ Word Tx::uread(const Word* addr) {
   assert(active_);
   if ((writeSigs_ & addressSignature(addr)) != 0) {
     if (WriteEntry* we = findWrite(addr)) {
-      stats_.onUread();
+      stats_->onUread();
       return we->value;
     }
   }
   if (backend_ == TmBackend::NOrec) return norecUread(addr);
-  std::atomic<OrecWord>* orec = rt_.orecs().forAddress(addr);
+  std::atomic<OrecWord>* orec =
+      views_[curView_].domain->orecs().forAddress(addr);
   SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/true);
-  stats_.onUread();
+  stats_->onUread();
   return s.value;
 }
 
 void Tx::write(Word* addr, Word value) {
   assert(active_);
-  ++stats_.writes;
+  stats_->onWrite();
   if (elasticPhase_) {
     // First write: the elastic transaction becomes a normal one; the reads
     // still in the window must now stay valid until commit.
@@ -209,10 +266,10 @@ void Tx::write(Word* addr, Word value) {
       return;
     }
   }
-  WriteEntry we{addr, value, rt_.orecs().forAddress(addr), /*prevVersion=*/0,
-                /*locked=*/false};
-  if (backend_ == TmBackend::Orec &&
-      rt_.config().lockMode == LockMode::Eager) {
+  WriteEntry we{addr, value,
+                views_[curView_].domain->orecs().forAddress(addr),
+                /*prevVersion=*/0, /*locked=*/false, /*view=*/curView_};
+  if (backend_ == TmBackend::Orec && cfg_.lockMode == LockMode::Eager) {
     acquireOrecForWrite(we);
   }
   writeSet_.push_back(we);
@@ -220,22 +277,23 @@ void Tx::write(Word* addr, Word value) {
 }
 
 void Tx::acquireOrecForWrite(WriteEntry& we) {
+  DomainView& v = views_[we.view];
   for (;;) {
     OrecWord cur = we.orec->load(std::memory_order_acquire);
     if (orec::isLocked(cur)) {
       if (orec::owner(cur) == this) {
         // Another write entry of ours already owns this orec stripe.
         WriteEntry* holder = findWriteByOrec(we.orec);
-        we.prevVersion = holder ? holder->prevVersion : rv_;
+        we.prevVersion = holder ? holder->prevVersion : v.rv;
         we.locked = false;
         return;
       }
       abortSelf();
     }
-    if (orec::version(cur) > rv_) {
+    if (orec::version(cur) > v.rv) {
       // Keep the snapshot consistent so read-after-write on this stripe is
       // safe; extension aborts us if the read set is stale.
-      extendSnapshot();
+      extendSnapshot(we.view);
       continue;
     }
     if (we.orec->compare_exchange_weak(cur, orec::makeLocked(this),
@@ -268,15 +326,20 @@ bool Tx::validateReadSet() const {
   return true;
 }
 
-void Tx::extendSnapshot() {
-  const std::uint64_t now = rt_.clock().now();
+void Tx::extendSnapshot(std::size_t viewIdx) {
+  DomainView& v = views_[viewIdx];
+  const std::uint64_t now = v.domain->clock().now();
+  // The whole read set — including entries from other domains — must still
+  // hold: this is what keeps a multi-domain snapshot globally consistent
+  // (a cross-domain commit that invalidated any earlier read is caught
+  // here before the extension makes its effects readable).
   if (!validateReadSet()) abortSelf();
-  rv_ = now;
-  ++stats_.snapshotExtensions;
+  v.rv = now;
+  stats_->onSnapshotExtension();
 }
 
 void Tx::elasticRecord(std::atomic<OrecWord>* orec, std::uint64_t version) {
-  const std::size_t cap = rt_.config().elasticWindow;
+  const std::size_t cap = cfg_.elasticWindow;
   if (window_.size() < cap) {
     window_.push_back(ReadEntry{orec, version});
     return;
@@ -285,7 +348,7 @@ void Tx::elasticRecord(std::atomic<OrecWord>* orec, std::uint64_t version) {
   // longer part of the transaction's consistency obligation.
   window_[windowNext_] = ReadEntry{orec, version};
   windowNext_ = (windowNext_ + 1) % cap;
-  ++stats_.elasticCuts;
+  stats_->onElasticCut();
 }
 
 void Tx::elasticValidateWindow() {
@@ -300,14 +363,38 @@ void Tx::foldElasticWindowIntoReadSet() {
   windowNext_ = 0;
 }
 
-void Tx::releaseHeldLocks(bool restoreOldVersion, std::uint64_t newVersion) {
+void Tx::releaseHeldLocks(bool restoreOldVersion) {
   for (auto& we : writeSet_) {
     if (!we.locked) continue;
-    const OrecWord out = restoreOldVersion ? orec::makeVersion(we.prevVersion)
-                                           : orec::makeVersion(newVersion);
+    const OrecWord out = restoreOldVersion
+                             ? orec::makeVersion(we.prevVersion)
+                             : orec::makeVersion(views_[we.view].wv);
     we.orec->store(out, std::memory_order_release);
     we.locked = false;
   }
+}
+
+void Tx::releaseNorecSeqLocks() {
+  for (auto& v : views_) {
+    if (!v.seqLocked) continue;
+    // Nothing was written back: restoring the pre-lock sequence value marks
+    // the domain free with its snapshot unchanged.
+    v.domain->norecSeq().store(v.rv, std::memory_order_release);
+    v.seqLocked = false;
+  }
+}
+
+std::vector<std::size_t> Tx::writingViewsInOrder() const {
+  std::vector<std::size_t> order;
+  for (const auto& we : writeSet_) {
+    if (std::find(order.begin(), order.end(), we.view) == order.end()) {
+      order.push_back(we.view);
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return views_[a].domain < views_[b].domain;
+  });
+  return order;
 }
 
 void Tx::commit() {
@@ -318,37 +405,38 @@ void Tx::commit() {
   }
   if (writeSet_.empty()) {
     // Read-only: every read was validated against the snapshot (normal) or
-    // hand-over-hand (elastic); nothing to publish.
+    // hand-over-hand (elastic); nothing to publish. This holds across
+    // domains too: any read that post-dated a cross-domain commit forced an
+    // extension, which revalidated every domain's entries.
     speculativeAllocs_.clear();  // committed: caller keeps ownership
-    ++stats_.commits;
+    stats_->onCommit();
     active_ = false;
+    runTxEndHooks();
     runCommitHooks();
     return;
   }
 
-  if (rt_.config().lockMode == LockMode::Lazy) {
-    // Commit-time locking: acquire every write orec now.
-    for (std::size_t i = 0; i < writeSet_.size(); ++i) {
-      WriteEntry& we = writeSet_[i];
-      bool alreadyHeld = false;
-      for (std::size_t j = 0; j < i; ++j) {
-        if (writeSet_[j].orec == we.orec) {
-          we.prevVersion = writeSet_[j].prevVersion;
-          alreadyHeld = true;
-          break;
-        }
-      }
-      if (alreadyHeld) continue;
+  const bool singleDomain = views_.size() == 1;
+
+  if (cfg_.lockMode == LockMode::Lazy) {
+    // Commit-time locking: acquire every write orec now. Multi-domain
+    // transactions acquire domain-by-domain in canonical (pointer) order —
+    // combined with never *waiting* on a held orec (conflicts abort), the
+    // acquisition phase is deadlock-free by construction. The common
+    // single-domain case walks the write set in insertion order without
+    // building an index.
+    const auto lockEntry = [this](WriteEntry& we) {
+      DomainView& v = views_[we.view];
       for (;;) {
         OrecWord cur = we.orec->load(std::memory_order_acquire);
         if (orec::isLocked(cur)) {
           // Owned by someone else (self-ownership is impossible here: all
           // our locks come from earlier iterations, which are deduplicated
-          // above). Abort and retry with backoff.
+          // by the caller). Abort and retry with backoff.
           abortSelf();
         }
-        if (orec::version(cur) > rv_) {
-          extendSnapshot();
+        if (orec::version(cur) > v.rv) {
+          extendSnapshot(we.view);
           continue;
         }
         if (we.orec->compare_exchange_weak(cur, orec::makeLocked(this),
@@ -356,70 +444,132 @@ void Tx::commit() {
                                            std::memory_order_relaxed)) {
           we.prevVersion = orec::version(cur);
           we.locked = true;
-          break;
+          return;
         }
       }
+    };
+    // One dedup+lock loop serves both orders: earlier-acquired entries on
+    // the same orec stripe donate their prevVersion instead of re-locking.
+    const auto acquireInOrder = [&](auto indexAt) {
+      for (std::size_t p = 0; p < writeSet_.size(); ++p) {
+        WriteEntry& we = writeSet_[indexAt(p)];
+        bool alreadyHeld = false;
+        for (std::size_t q = 0; q < p; ++q) {
+          const WriteEntry& prior = writeSet_[indexAt(q)];
+          if (prior.orec == we.orec) {
+            we.prevVersion = prior.prevVersion;
+            alreadyHeld = true;
+            break;
+          }
+        }
+        if (!alreadyHeld) lockEntry(we);
+      }
+    };
+    if (singleDomain) {
+      acquireInOrder([](std::size_t p) { return p; });
+    } else {
+      std::vector<std::size_t> acq(writeSet_.size());
+      std::iota(acq.begin(), acq.end(), std::size_t{0});
+      std::stable_sort(acq.begin(), acq.end(),
+                       [this](std::size_t a, std::size_t b) {
+                         return views_[writeSet_[a].view].domain <
+                                views_[writeSet_[b].view].domain;
+                       });
+      acquireInOrder([&acq](std::size_t p) { return acq[p]; });
     }
   }
 
-  const std::uint64_t wv = rt_.clock().tick();
-  if (rv_ + 1 != wv) {
-    // Someone committed since our snapshot; the read set must still hold.
+  // Per-domain commit timestamps: tick every written domain's clock while
+  // all write locks are held, in the same canonical order.
+  if (singleDomain) {
+    views_[0].wv = views_[0].domain->clock().tick();
+    if (views_[0].rv + 1 != views_[0].wv) {
+      // Someone committed since our snapshot; the read set must still hold.
+      if (!validateReadSet()) abortSelf();
+    }
+  } else {
+    for (const std::size_t idx : writingViewsInOrder()) {
+      views_[idx].wv = views_[idx].domain->clock().tick();
+    }
+    // The single-domain rv+1 == wv shortcut does not compose across
+    // clocks; a multi-domain commit always validates.
     if (!validateReadSet()) abortSelf();
   }
   for (const WriteEntry& we : writeSet_) {
     atomicStoreWord(we.addr, we.value);
   }
-  releaseHeldLocks(/*restoreOldVersion=*/false, wv);
+  releaseHeldLocks(/*restoreOldVersion=*/false);
   speculativeAllocs_.clear();  // published: ownership transferred
-  ++stats_.commits;
+  stats_->onCommit();
   active_ = false;
+  runTxEndHooks();
   runCommitHooks();
 }
 
 // --- NOrec backend (Dalessandro, Spear, Scott — PPoPP 2010) ----------------
-// One global sequence lock; reads log (address, value) pairs and revalidate
-// by re-reading whenever the sequence number moves; writers publish under
-// the lock. No per-location metadata at all.
+// One sequence lock per domain; reads log (address, value) pairs and
+// revalidate by re-reading whenever a joined domain's sequence number
+// moves; writers publish under the lock(s). No per-location metadata at
+// all. Cross-domain commits take every written domain's sequence lock in
+// canonical order before writing back.
 
 Word Tx::norecRead(const Word* addr) {
   for (;;) {
     const Word value = atomicLoadWord(addr);
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (rt_.norecSeq().load(std::memory_order_acquire) == rv_) {
-      valueLog_.push_back(ValueEntry{addr, value});
-      stats_.onRead();
+    DomainView& v = views_[curView_];
+    if (v.domain->norecSeq().load(std::memory_order_acquire) == v.rv) {
+      valueLog_.push_back(ValueEntry{addr, value, curView_});
+      stats_->onRead();
       return value;
     }
-    // A writer committed since our snapshot: revalidate and re-sample.
-    rv_ = norecValidate();
+    // A writer committed since our snapshot of this domain: revalidate the
+    // whole log (all domains) and re-sample.
+    norecValidate();
   }
 }
 
 Word Tx::norecUread(const Word* addr) {
   // A unit load only needs a committed value of this single word: sample
-  // the sequence lock around the load.
+  // the domain's sequence lock around the load.
+  std::atomic<std::uint64_t>& seq = views_[curView_].domain->norecSeq();
   for (;;) {
-    const std::uint64_t s1 = rt_.norecSeq().load(std::memory_order_acquire);
+    const std::uint64_t s1 = seq.load(std::memory_order_acquire);
     if ((s1 & 1) != 0) {
       cpuRelax();
       continue;
     }
     const Word value = atomicLoadWord(addr);
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (rt_.norecSeq().load(std::memory_order_relaxed) == s1) {
-      stats_.onUread();
+    if (seq.load(std::memory_order_relaxed) == s1) {
+      stats_->onUread();
       return value;
     }
   }
 }
 
-std::uint64_t Tx::norecValidate() {
+void Tx::norecValidate() {
+  bool holdingLocks = false;
+  for (const auto& v : views_) holdingLocks |= v.seqLocked;
+  seqSnap_.resize(views_.size());
   for (;;) {
-    const std::uint64_t s = rt_.norecSeq().load(std::memory_order_acquire);
-    if ((s & 1) != 0) {
-      cpuRelax();
-      continue;
+    for (std::size_t i = 0; i < views_.size(); ++i) {
+      DomainView& v = views_[i];
+      if (v.seqLocked) continue;  // frozen by us: cannot move
+      std::uint64_t spins = 0;
+      for (;;) {
+        const std::uint64_t s =
+            v.domain->norecSeq().load(std::memory_order_acquire);
+        if ((s & 1) == 0) {
+          seqSnap_[i] = s;
+          break;
+        }
+        // While we hold sequence locks ourselves, waiting unboundedly for
+        // another domain's writer could deadlock with a writer waiting for
+        // ours; bound the wait and abort (backoff breaks the symmetry).
+        if (holdingLocks && ++spins > kNorecHeldSpinLimit) abortSelf();
+        cpuRelax();
+      }
     }
     bool ok = true;
     for (const ValueEntry& e : valueLog_) {
@@ -429,9 +579,21 @@ std::uint64_t Tx::norecValidate() {
       }
     }
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (rt_.norecSeq().load(std::memory_order_relaxed) != s) continue;
+    bool moved = false;
+    for (std::size_t i = 0; i < views_.size(); ++i) {
+      if (views_[i].seqLocked) continue;
+      if (views_[i].domain->norecSeq().load(std::memory_order_relaxed) !=
+          seqSnap_[i]) {
+        moved = true;
+        break;
+      }
+    }
+    if (moved) continue;
     if (!ok) abortSelf();
-    return s;
+    for (std::size_t i = 0; i < views_.size(); ++i) {
+      if (!views_[i].seqLocked) views_[i].rv = seqSnap_[i];
+    }
+    return;
   }
 }
 
@@ -440,26 +602,67 @@ void Tx::norecCommit() {
     // Read-only transactions are always consistent at their last
     // validation point.
     speculativeAllocs_.clear();
-    ++stats_.commits;
+    stats_->onCommit();
     active_ = false;
+    runTxEndHooks();
     runCommitHooks();
     return;
   }
-  std::uint64_t s = rv_;
-  while (!rt_.norecSeq().compare_exchange_weak(
-      s, s + 1, std::memory_order_acq_rel, std::memory_order_relaxed)) {
-    s = norecValidate();  // aborts on value mismatch
-    rv_ = s;
+  // Acquire every written domain's sequence lock in canonical order (the
+  // dominant single-domain case skips building the order).
+  const auto lockView = [this](DomainView& v) {
+    std::uint64_t s = v.rv;
+    while (!v.domain->norecSeq().compare_exchange_weak(
+        s, s + 1, std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      norecValidate();  // aborts on value mismatch; refreshes v.rv
+      s = v.rv;
+    }
+    v.rv = s;
+    v.seqLocked = true;
+  };
+  if (views_.size() == 1) {
+    lockView(views_[0]);
+  } else {
+    for (const std::size_t idx : writingViewsInOrder()) {
+      lockView(views_[idx]);
+    }
   }
-  // Global lock held: publish.
+  // Locks held: reads in written domains are implicitly valid (their
+  // sequence number had not moved since the last validation when the CAS
+  // succeeded). Reads in read-only domains need one final validation to
+  // pin the linearization point.
+  bool readOnlyDomainEntries = false;
+  for (const ValueEntry& e : valueLog_) {
+    if (!views_[e.view].seqLocked) {
+      readOnlyDomainEntries = true;
+      break;
+    }
+  }
+  if (readOnlyDomainEntries) norecValidate();
+  // Publish.
   for (const WriteEntry& we : writeSet_) {
     atomicStoreWord(we.addr, we.value);
   }
-  rt_.norecSeq().store(s + 2, std::memory_order_release);
+  for (auto& v : views_) {
+    if (!v.seqLocked) continue;
+    v.seqLocked = false;
+    v.domain->norecSeq().store(v.rv + 2, std::memory_order_release);
+  }
   speculativeAllocs_.clear();
-  ++stats_.commits;
+  stats_->onCommit();
   active_ = false;
+  runTxEndHooks();
   runCommitHooks();
+}
+
+void Tx::runTxEndHooks() {
+  // Index loop instead of steal-by-swap so the vector keeps its capacity
+  // across transactions (a guard hook fires on essentially every
+  // transaction). Contract: tx-end hooks are completion signals — they
+  // must not start transactions or register further hooks (onCommit is
+  // the hook point for work that composes).
+  for (std::size_t i = 0; i < txEndHooks_.size(); ++i) txEndHooks_[i]();
+  txEndHooks_.clear();
 }
 
 void Tx::runCommitHooks() {

@@ -3,7 +3,7 @@
 //
 // The algorithm is a word-based, lazy-snapshot STM in the TL2/TinySTM
 // family:
-//   * a transaction records its begin snapshot `rv` from the global clock;
+//   * a transaction records its begin snapshot `rv` from the domain clock;
 //   * every transactional read double-checks the orec around the data load
 //     and, when the location is newer than `rv`, tries to *extend* the
 //     snapshot by revalidating the read set against the current clock;
@@ -16,8 +16,23 @@
 // Unit loads (`uread`) return the latest committed value without any read
 // set bookkeeping; elastic transactions keep a sliding window of the most
 // recent reads instead of the full read set until their first write.
+//
+// --- Clock domains ---------------------------------------------------------
+// A transaction is rooted in one stm::Domain (the argument of atomically)
+// but may *join* further domains mid-flight via DomainScope — this is how a
+// cross-shard move composes two trees that live on different clocks. The
+// descriptor keeps one DomainView (snapshot rv, commit timestamp wv) per
+// joined domain; reads and writes are attributed to the innermost scope's
+// domain. Snapshot extension in any domain revalidates the *entire* read
+// set, which is what makes the combined multi-domain snapshot consistent.
+// Commit acquires write locks domain-by-domain in canonical (pointer)
+// order, ticks each written domain's clock for a per-domain timestamp,
+// validates, writes back and releases — so the transaction becomes visible
+// in all domains atomically. All joined domains must share one TM backend;
+// the root domain's lock mode and elastic window govern the transaction.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -30,7 +45,7 @@
 
 namespace sftree::stm {
 
-class Runtime;
+class Domain;
 
 // Thrown by the STM to roll back a speculative execution; caught only by the
 // retry loop in stm::atomically. User code must never swallow it.
@@ -38,14 +53,17 @@ struct TxAbort {};
 
 class alignas(64) Tx {
  public:
-  explicit Tx(Runtime& rt);
+  Tx();
   ~Tx();
 
   Tx(const Tx&) = delete;
   Tx& operator=(const Tx&) = delete;
 
   // --- lifecycle (called by stm::atomically) -------------------------------
-  void begin(TxKind kind);
+  // `stats` is the calling thread's slot for `d` (the root domain); every
+  // counter this attempt produces — including accesses made in joined
+  // domains — is attributed to the root domain's registry.
+  void begin(Domain& d, TxKind kind, ThreadStats& stats);
   void commit();
   // Releases any held locks, bumps stats, prepares for retry. Does not throw.
   void onAbort();
@@ -53,6 +71,20 @@ class alignas(64) Tx {
   TxKind kind() const { return kind_; }
   std::uint32_t attempts() const { return attempts_; }
   void resetAttempts() { attempts_ = 0; }
+
+  // The domain the current attempt was begun in. Precondition: begin() has
+  // run at least once.
+  Domain& rootDomain() const { return *views_.front().domain; }
+  // The domain the next access will be attributed to (innermost scope).
+  Domain& currentDomain() const { return *views_[curView_].domain; }
+
+  // --- domain scoping (called by DomainScope / stm::atomically) ------------
+  // Makes `d` the current access domain, joining it (fresh snapshot) if the
+  // transaction has not touched it yet. Returns the previous scope index
+  // for exitDomain. Precondition: active(), and d's backend matches the
+  // root domain's.
+  std::size_t enterDomain(Domain& d);
+  void exitDomain(std::size_t prev) { curView_ = prev; }
 
   // --- speculative accesses -------------------------------------------------
   // Transactional read: recorded and validated; opacity preserved.
@@ -80,12 +112,29 @@ class alignas(64) Tx {
   // operations run only when the outermost transaction commits.
   void onCommit(std::function<void()> hook);
 
-  ThreadStats& stats() { return stats_; }
-  const ThreadStats& stats() const { return stats_; }
+  // Registers an action that runs when the current attempt *ends* — after
+  // commit or abort, i.e. after the last validation that may re-read
+  // logged addresses. Used to defer quiescence-GC completion signals past
+  // the transaction's final value-based revalidation (a NOrec commit
+  // re-reads every logged address; nodes referenced by an already-returned
+  // operation must not be freed before that). Re-registered by the
+  // operation body on every retry.
+  void onTxEnd(std::function<void()> hook);
 
-  Runtime& runtime() { return rt_; }
+  // The root domain's (thread, domain) statistics slot. Precondition:
+  // begin() has run at least once.
+  ThreadStats& stats() { return *stats_; }
+  const ThreadStats& stats() const { return *stats_; }
 
  private:
+  // Per-joined-domain state. views_[0] is the root domain's view.
+  struct DomainView {
+    Domain* domain;
+    std::uint64_t rv = 0;   // snapshot (read version / NOrec sequence)
+    std::uint64_t wv = 0;   // commit timestamp (set during commit)
+    bool seqLocked = false;  // NOrec: this view's sequence lock is held
+  };
+
   struct ReadEntry {
     std::atomic<OrecWord>* orec;
     std::uint64_t version;
@@ -94,6 +143,7 @@ class alignas(64) Tx {
   struct ValueEntry {
     const Word* addr;
     Word value;
+    std::size_t view;  // domain whose sequence lock guards the address
   };
   struct WriteEntry {
     Word* addr;
@@ -101,6 +151,7 @@ class alignas(64) Tx {
     std::atomic<OrecWord>* orec;
     std::uint64_t prevVersion;  // version observed when the orec was locked
     bool locked;                // this entry holds the orec lock
+    std::size_t view;           // domain the address belongs to
   };
 
   // Consistent (orec-sandwiched) load of a committed value. Returns the
@@ -123,9 +174,15 @@ class alignas(64) Tx {
   bool validateReadSet() const;
   bool validateEntry(const ReadEntry& e) const;
 
-  // Attempts to advance rv to the current clock; aborts the caller on
-  // failure (returns only on success).
-  void extendSnapshot();
+  // Attempts to advance views_[viewIdx].rv to that domain's current clock.
+  // Revalidates the *whole* read set (all domains) so the combined snapshot
+  // stays consistent; aborts the caller on failure (returns only on
+  // success).
+  void extendSnapshot(std::size_t viewIdx);
+
+  // Write-set view indices with at least one entry, ordered by domain
+  // pointer — the canonical multi-domain acquisition order.
+  std::vector<std::size_t> writingViewsInOrder() const;
 
   // Elastic helpers.
   void elasticRecord(std::atomic<OrecWord>* orec, std::uint64_t version);
@@ -133,25 +190,33 @@ class alignas(64) Tx {
   void foldElasticWindowIntoReadSet();
 
   void acquireOrecForWrite(WriteEntry& we);
-  void releaseHeldLocks(bool restoreOldVersion, std::uint64_t newVersion);
+  void releaseHeldLocks(bool restoreOldVersion);
+  void releaseNorecSeqLocks();
   void runCommitHooks();
+  void runTxEndHooks();
 
   // --- NOrec backend ---------------------------------------------------------
   Word norecRead(const Word* addr);
   Word norecUread(const Word* addr);
-  // Waits for the global sequence lock to be free, re-reads the value log;
-  // aborts on mismatch, else returns the new consistent snapshot.
-  std::uint64_t norecValidate();
+  // Waits for every joined domain's sequence lock to be free (bounded spin
+  // while this transaction itself holds sequence locks, to stay
+  // deadlock-free), re-reads the value log; aborts on mismatch, else
+  // refreshes every view's snapshot.
+  void norecValidate();
   void norecCommit();
+  static std::uint64_t norecWaitEven(Domain& d);
 
   [[noreturn]] void abortSelf();
 
-  Runtime& rt_;
   TxKind kind_ = TxKind::Normal;
   bool active_ = false;
   bool elasticPhase_ = false;  // true while elastic and write-free
-  std::uint64_t rv_ = 0;       // snapshot (read version)
   std::uint32_t attempts_ = 0;
+  Config cfg_{};               // root domain's config, latched at begin()
+  TmBackend backend_ = TmBackend::Orec;
+
+  std::vector<DomainView> views_;
+  std::size_t curView_ = 0;
 
   struct AllocEntry {
     void* ptr;
@@ -163,16 +228,35 @@ class alignas(64) Tx {
   std::vector<ValueEntry> valueLog_;  // NOrec backend only
   std::vector<AllocEntry> speculativeAllocs_;
   std::vector<std::function<void()>> commitHooks_;
+  std::vector<std::function<void()>> txEndHooks_;
   std::uint64_t writeSigs_ = 0;  // bloom signature over write addresses
-  TmBackend backend_ = TmBackend::Orec;  // latched at begin()
 
   // Elastic sliding window (size config.elasticWindow, kept tiny).
   std::vector<ReadEntry> window_;
   std::size_t windowNext_ = 0;
 
-  ThreadStats stats_;
+  // Scratch for norecValidate (avoids per-validation allocation).
+  std::vector<std::uint64_t> seqSnap_;
 
-  friend class Runtime;
+  ThreadStats* stats_ = nullptr;  // root domain's slot for this thread
+};
+
+// RAII domain scope: inside a transaction, makes `d` the domain that
+// transactional accesses are attributed to. Data structures bound to a
+// non-default domain open one of these at the top of their Tx-composable
+// operations, so a flat-nested caller transparently becomes a cross-domain
+// transaction. Cheap when `d` is already the current domain.
+class DomainScope {
+ public:
+  DomainScope(Tx& tx, Domain& d) : tx_(tx), prev_(tx.enterDomain(d)) {}
+  ~DomainScope() { tx_.exitDomain(prev_); }
+
+  DomainScope(const DomainScope&) = delete;
+  DomainScope& operator=(const DomainScope&) = delete;
+
+ private:
+  Tx& tx_;
+  std::size_t prev_;
 };
 
 }  // namespace sftree::stm

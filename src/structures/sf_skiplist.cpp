@@ -1,5 +1,7 @@
 #include "structures/sf_skiplist.hpp"
 
+#include "gc/tx_guard.hpp"
+
 #include <limits>
 
 namespace sftree::structures {
@@ -7,7 +9,9 @@ namespace sftree::structures {
 using sftree::Key;
 using sftree::Value;
 
-SFSkipList::SFSkipList(Config cfg) : cfg_(cfg) {
+SFSkipList::SFSkipList(Config cfg)
+    : cfg_(cfg),
+      domain_(cfg.domain != nullptr ? *cfg.domain : stm::defaultDomain()) {
   head_ = new Node(std::numeric_limits<Key>::min(), 0, kMaxLevel);
   if (cfg_.startMaintenance) startMaintenance();
 }
@@ -41,7 +45,8 @@ SFSkipList::Node* SFSkipList::findTx(stm::Tx& tx, Key k,
 }
 
 bool SFSkipList::containsTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   Node* preds[kMaxLevel];
   Node* succs[kMaxLevel];
   Node* n = findTx(tx, k, preds, succs);
@@ -49,7 +54,8 @@ bool SFSkipList::containsTx(stm::Tx& tx, Key k) {
 }
 
 std::optional<Value> SFSkipList::getTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   Node* preds[kMaxLevel];
   Node* succs[kMaxLevel];
   Node* n = findTx(tx, k, preds, succs);
@@ -72,7 +78,8 @@ int SFSkipList::randomLevel() {
 }
 
 bool SFSkipList::insertTx(stm::Tx& tx, Key k, Value v) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   Node* preds[kMaxLevel];
   Node* succs[kMaxLevel];
   Node* n = findTx(tx, k, preds, succs);
@@ -98,7 +105,8 @@ bool SFSkipList::insertTx(stm::Tx& tx, Key k, Value v) {
 }
 
 bool SFSkipList::eraseTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   Node* preds[kMaxLevel];
   Node* succs[kMaxLevel];
   Node* n = findTx(tx, k, preds, succs);
@@ -111,16 +119,16 @@ bool SFSkipList::eraseTx(stm::Tx& tx, Key k) {
 }
 
 bool SFSkipList::insert(Key k, Value v) {
-  return stm::atomically([&](stm::Tx& tx) { return insertTx(tx, k, v); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return insertTx(tx, k, v); });
 }
 bool SFSkipList::erase(Key k) {
-  return stm::atomically([&](stm::Tx& tx) { return eraseTx(tx, k); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return eraseTx(tx, k); });
 }
 bool SFSkipList::contains(Key k) {
-  return stm::atomically([&](stm::Tx& tx) { return containsTx(tx, k); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return containsTx(tx, k); });
 }
 std::optional<Value> SFSkipList::get(Key k) {
-  return stm::atomically([&](stm::Tx& tx) { return getTx(tx, k); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return getTx(tx, k); });
 }
 
 // --------------------------------------------------------------------------
@@ -128,7 +136,7 @@ std::optional<Value> SFSkipList::get(Key k) {
 // node-local transaction per tower, then quiescence-based reclamation.
 // --------------------------------------------------------------------------
 bool SFSkipList::tryUnlink(Node* node) {
-  const bool ok = stm::atomically([&](stm::Tx& tx) {
+  const bool ok = stm::atomically(domain_, [&](stm::Tx& tx) {
     if (node->removed.read(tx)) return false;
     if (!node->deleted.read(tx)) return false;  // revived meanwhile
     Node* preds[kMaxLevel];

@@ -28,6 +28,8 @@ namespace sftree::structures {
 struct SkipListConfig {
   bool startMaintenance = true;
   std::chrono::microseconds idlePause{100};
+  // STM clock domain; null selects the process default.
+  stm::Domain* domain = nullptr;
 };
 
 class SFSkipList {
@@ -83,6 +85,8 @@ class SFSkipList {
   std::size_t structuralSize();  // reachable towers
   std::vector<sftree::Key> keysInOrder();
 
+  stm::Domain& domain() const { return domain_; }
+
  private:
   // Fills preds/succs per level for key k; returns the node with key k
   // (still linked at level 0) or nullptr.
@@ -101,6 +105,7 @@ class SFSkipList {
   std::atomic<std::uint64_t> unlinks_{0};
 
   Config cfg_;
+  stm::Domain& domain_;
   gc::ThreadRegistry registry_;
   gc::LimboList limbo_;
   std::thread maintenanceThread_;

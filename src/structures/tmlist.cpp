@@ -1,6 +1,11 @@
 #include "structures/tmlist.hpp"
 
+#include "gc/tx_guard.hpp"
+
 namespace sftree::structures {
+
+TMList::TMList(stm::Domain* domain)
+    : domain_(domain != nullptr ? *domain : stm::defaultDomain()) {}
 
 TMList::~TMList() {
   ListNode* n = head_.loadRelaxed();
@@ -12,7 +17,8 @@ TMList::~TMList() {
 }
 
 bool TMList::insertTx(stm::Tx& tx, Key k, Value v) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   ListNode* prev = nullptr;
   ListNode* curr = head_.read(tx);
   while (curr != nullptr && curr->key < k) {
@@ -32,7 +38,8 @@ bool TMList::insertTx(stm::Tx& tx, Key k, Value v) {
 }
 
 bool TMList::eraseTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   ListNode* prev = nullptr;
   ListNode* curr = head_.read(tx);
   while (curr != nullptr && curr->key < k) {
@@ -54,14 +61,16 @@ bool TMList::eraseTx(stm::Tx& tx, Key k) {
 }
 
 bool TMList::containsTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   ListNode* curr = head_.read(tx);
   while (curr != nullptr && curr->key < k) curr = curr->next.read(tx);
   return curr != nullptr && curr->key == k;
 }
 
 std::optional<Value> TMList::getTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   ListNode* curr = head_.read(tx);
   while (curr != nullptr && curr->key < k) curr = curr->next.read(tx);
   if (curr == nullptr || curr->key != k) return std::nullopt;
@@ -69,7 +78,8 @@ std::optional<Value> TMList::getTx(stm::Tx& tx, Key k) {
 }
 
 bool TMList::updateTx(stm::Tx& tx, Key k, Value v) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   ListNode* curr = head_.read(tx);
   while (curr != nullptr && curr->key < k) curr = curr->next.read(tx);
   if (curr == nullptr || curr->key != k) return false;
@@ -78,7 +88,8 @@ bool TMList::updateTx(stm::Tx& tx, Key k, Value v) {
 }
 
 std::size_t TMList::sizeTx(stm::Tx& tx) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   std::size_t n = 0;
   for (ListNode* curr = head_.read(tx); curr != nullptr;
        curr = curr->next.read(tx)) {
@@ -89,7 +100,8 @@ std::size_t TMList::sizeTx(stm::Tx& tx) {
 
 void TMList::forEachTx(stm::Tx& tx,
                        const std::function<void(Key, Value)>& fn) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   for (ListNode* curr = head_.read(tx); curr != nullptr;
        curr = curr->next.read(tx)) {
     fn(curr->key, curr->value.read(tx));
@@ -106,23 +118,23 @@ void TMList::retireNode(ListNode* n) {
 }
 
 bool TMList::insert(Key k, Value v) {
-  return stm::atomically([&](stm::Tx& tx) { return insertTx(tx, k, v); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return insertTx(tx, k, v); });
 }
 
 bool TMList::erase(Key k) {
-  return stm::atomically([&](stm::Tx& tx) { return eraseTx(tx, k); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return eraseTx(tx, k); });
 }
 
 bool TMList::contains(Key k) {
-  return stm::atomically([&](stm::Tx& tx) { return containsTx(tx, k); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return containsTx(tx, k); });
 }
 
 std::optional<Value> TMList::get(Key k) {
-  return stm::atomically([&](stm::Tx& tx) { return getTx(tx, k); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return getTx(tx, k); });
 }
 
 std::size_t TMList::size() {
-  return stm::atomically([&](stm::Tx& tx) { return sizeTx(tx); });
+  return stm::atomically(domain_, [&](stm::Tx& tx) { return sizeTx(tx); });
 }
 
 std::vector<std::pair<Key, Value>> TMList::items() {

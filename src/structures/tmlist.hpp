@@ -34,7 +34,9 @@ struct ListNode {
 // Sorted by key, unique keys.
 class TMList {
  public:
-  TMList() = default;
+  // `domain` is the STM clock domain the list's transactions run against;
+  // null selects the process default.
+  explicit TMList(stm::Domain* domain = nullptr);
   ~TMList();
 
   TMList(const TMList&) = delete;
@@ -60,10 +62,13 @@ class TMList {
   // Quiesced contents.
   std::vector<std::pair<Key, Value>> items();
 
+  stm::Domain& domain() const { return domain_; }
+
  private:
   void retireNode(ListNode* n);
   static void deleteNode(void* p) { delete static_cast<ListNode*>(p); }
 
+  stm::Domain& domain_;
   stm::TxField<ListNode*> head_{nullptr};
 
   gc::ThreadRegistry registry_;

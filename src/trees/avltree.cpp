@@ -1,11 +1,15 @@
 #include "trees/avltree.hpp"
 
+#include "gc/tx_guard.hpp"
+
 #include <algorithm>
 #include <stack>
 
 namespace sftree::trees {
 
-AVLTree::AVLTree(AVLTreeConfig cfg) : cfg_(cfg) {}
+AVLTree::AVLTree(AVLTreeConfig cfg)
+    : cfg_(cfg),
+      domain_(cfg.domain != nullptr ? *cfg.domain : stm::defaultDomain()) {}
 
 AVLTree::~AVLTree() {
   std::stack<AVLNode*> stack;
@@ -136,7 +140,8 @@ AVLNode* AVLTree::eraseRec(stm::Tx& tx, AVLNode* n, Key k, bool& erased) {
 }
 
 bool AVLTree::insertTx(stm::Tx& tx, Key k, Value v) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   bool inserted = false;
   AVLNode* r = root_.read(tx);
   AVLNode* nr = insertRec(tx, r, k, v, inserted);
@@ -145,7 +150,8 @@ bool AVLTree::insertTx(stm::Tx& tx, Key k, Value v) {
 }
 
 bool AVLTree::eraseTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   bool erased = false;
   AVLNode* r = root_.read(tx);
   AVLNode* nr = eraseRec(tx, r, k, erased);
@@ -154,7 +160,8 @@ bool AVLTree::eraseTx(stm::Tx& tx, Key k) {
 }
 
 bool AVLTree::containsTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   AVLNode* x = root_.read(tx);
   while (x != nullptr && x->key != k) {
     x = (k < x->key) ? x->left.read(tx) : x->right.read(tx);
@@ -163,7 +170,8 @@ bool AVLTree::containsTx(stm::Tx& tx, Key k) {
 }
 
 std::optional<Value> AVLTree::getTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   AVLNode* x = root_.read(tx);
   while (x != nullptr && x->key != k) {
     x = (k < x->key) ? x->left.read(tx) : x->right.read(tx);
@@ -173,44 +181,44 @@ std::optional<Value> AVLTree::getTx(stm::Tx& tx, Key k) {
 }
 
 bool AVLTree::insert(Key k, Value v) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
   const bool r =
-      stm::atomically([&](stm::Tx& tx) { return insertTx(tx, k, v); });
+      stm::atomically(domain_, [&](stm::Tx& tx) { return insertTx(tx, k, v); });
   st.endOp();
   return r;
 }
 
 bool AVLTree::erase(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically([&](stm::Tx& tx) { return eraseTx(tx, k); });
+  const bool r = stm::atomically(domain_, [&](stm::Tx& tx) { return eraseTx(tx, k); });
   st.endOp();
   return r;
 }
 
 bool AVLTree::contains(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically(cfg_.txKind,
+  const bool r = stm::atomically(domain_, cfg_.txKind,
                                  [&](stm::Tx& tx) { return containsTx(tx, k); });
   st.endOp();
   return r;
 }
 
 std::optional<Value> AVLTree::get(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const auto r = stm::atomically(cfg_.txKind,
+  const auto r = stm::atomically(domain_, cfg_.txKind,
                                  [&](stm::Tx& tx) { return getTx(tx, k); });
   st.endOp();
   return r;
 }
 
 bool AVLTree::move(Key from, Key to) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically([&](stm::Tx& tx) {
+  const bool r = stm::atomically(domain_, [&](stm::Tx& tx) {
     if (containsTx(tx, to)) return false;
     const std::optional<Value> v = getTx(tx, from);
     if (!v) return false;
@@ -234,15 +242,16 @@ std::size_t avlCountRange(stm::Tx& tx, AVLNode* n, Key lo, Key hi) {
 }  // namespace
 
 std::size_t AVLTree::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   return avlCountRange(tx, root_.read(tx), lo, hi);
 }
 
 std::size_t AVLTree::countRange(Key lo, Key hi) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
   const auto r = stm::atomically(
-      [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+      domain_, [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
 }

@@ -32,6 +32,8 @@ struct AVLNode {
 struct AVLTreeConfig {
   // Elastic applies to read-only operations only (see RBTreeConfig).
   stm::TxKind txKind = stm::TxKind::Normal;
+  // STM clock domain; null selects the process default.
+  stm::Domain* domain = nullptr;
 };
 
 class AVLTree {
@@ -60,6 +62,7 @@ class AVLTree {
   std::size_t size();
   int height();
   std::vector<Key> keysInOrder();
+  stm::Domain& domain() const { return domain_; }
   AVLNode* rootForTest() { return root_.loadRelaxed(); }
 
  private:
@@ -82,6 +85,7 @@ class AVLTree {
   static void deleteNode(void* p) { delete static_cast<AVLNode*>(p); }
 
   AVLTreeConfig cfg_;
+  stm::Domain& domain_;
   stm::TxField<AVLNode*> root_{nullptr};
 
   gc::ThreadRegistry registry_;

@@ -242,6 +242,7 @@ std::unique_ptr<ITransactionalMap> makeMap(MapKind kind, stm::TxKind txKind,
       SFTreeConfig cfg;
       cfg.ops = OpsVariant::Portable;
       cfg.txKind = txKind;
+      cfg.domain = options.domain;
       cfg.interPassPause = options.maintenanceThrottle;
       return std::make_unique<SFTreeMap>(
           cfg, options.name.empty() ? "SFtree" : options.name,
@@ -251,6 +252,7 @@ std::unique_ptr<ITransactionalMap> makeMap(MapKind kind, stm::TxKind txKind,
       SFTreeConfig cfg;
       cfg.ops = OpsVariant::Optimized;
       cfg.txKind = txKind;
+      cfg.domain = options.domain;
       cfg.interPassPause = options.maintenanceThrottle;
       return std::make_unique<SFTreeMap>(
           cfg, options.name.empty() ? "Opt-SFtree" : options.name,
@@ -260,6 +262,7 @@ std::unique_ptr<ITransactionalMap> makeMap(MapKind kind, stm::TxKind txKind,
       SFTreeConfig cfg;
       cfg.ops = OpsVariant::Portable;
       cfg.txKind = txKind;
+      cfg.domain = options.domain;
       cfg.rotations = false;
       cfg.removals = false;  // the NRtree never physically removes nodes
       cfg.startMaintenance = false;
@@ -268,11 +271,13 @@ std::unique_ptr<ITransactionalMap> makeMap(MapKind kind, stm::TxKind txKind,
     case MapKind::RBTree: {
       RBTreeConfig cfg;
       cfg.txKind = txKind;
+      cfg.domain = options.domain;
       return std::make_unique<RBTreeMap>(cfg);
     }
     case MapKind::AVLTree: {
       AVLTreeConfig cfg;
       cfg.txKind = txKind;
+      cfg.domain = options.domain;
       return std::make_unique<AVLTreeMap>(cfg);
     }
     case MapKind::SeqSTL:

@@ -87,6 +87,9 @@ struct MapOptions {
   // the paper. Only used when the tree runs its own dedicated maintenance
   // thread (scheduler == nullptr).
   std::chrono::microseconds maintenanceThrottle{0};
+  // STM clock domain the map's transactions run against; null selects the
+  // process default (ignored by the sequential baseline).
+  stm::Domain* domain = nullptr;
   // Shared maintenance pool (not owned; must outlive the map). When set,
   // trees that need restructuring are built externally maintained and
   // register their maintenance pass with this scheduler instead of

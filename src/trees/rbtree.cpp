@@ -1,5 +1,7 @@
 #include "trees/rbtree.hpp"
 
+#include "gc/tx_guard.hpp"
+
 #include <algorithm>
 #include <stack>
 
@@ -13,7 +15,9 @@ inline bool isBlack(stm::Tx& tx, RBNode* n) {
 
 }  // namespace
 
-RBTree::RBTree(RBTreeConfig cfg) : cfg_(cfg) {}
+RBTree::RBTree(RBTreeConfig cfg)
+    : cfg_(cfg),
+      domain_(cfg.domain != nullptr ? *cfg.domain : stm::defaultDomain()) {}
 
 RBTree::~RBTree() {
   // Free the reachable tree; the limbo list destructor frees unlinked
@@ -123,7 +127,8 @@ void RBTree::insertFixup(stm::Tx& tx, RBNode* z) {
 }
 
 bool RBTree::insertTx(stm::Tx& tx, Key k, Value v) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   RBNode* y = nullptr;
   RBNode* x = root_.read(tx);
   while (x != nullptr) {
@@ -226,7 +231,8 @@ void RBTree::eraseFixup(stm::Tx& tx, RBNode* x, RBNode* xParent) {
 }
 
 bool RBTree::eraseTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   RBNode* z = searchTx(tx, k);
   if (z == nullptr) return false;
 
@@ -279,26 +285,26 @@ bool RBTree::eraseTx(stm::Tx& tx, Key k) {
 }
 
 bool RBTree::insert(Key k, Value v) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
   const bool r =
-      stm::atomically([&](stm::Tx& tx) { return insertTx(tx, k, v); });
+      stm::atomically(domain_, [&](stm::Tx& tx) { return insertTx(tx, k, v); });
   st.endOp();
   return r;
 }
 
 bool RBTree::erase(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically([&](stm::Tx& tx) { return eraseTx(tx, k); });
+  const bool r = stm::atomically(domain_, [&](stm::Tx& tx) { return eraseTx(tx, k); });
   st.endOp();
   return r;
 }
 
 bool RBTree::contains(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically(cfg_.txKind, [&](stm::Tx& tx) {
+  const bool r = stm::atomically(domain_, cfg_.txKind, [&](stm::Tx& tx) {
     return containsTx(tx, k);
   });
   st.endOp();
@@ -306,30 +312,32 @@ bool RBTree::contains(Key k) {
 }
 
 bool RBTree::containsTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   return searchTx(tx, k) != nullptr;
 }
 
 std::optional<Value> RBTree::getTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   RBNode* n = searchTx(tx, k);
   if (n == nullptr) return std::nullopt;
   return n->value.read(tx);
 }
 
 std::optional<Value> RBTree::get(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const auto r = stm::atomically(cfg_.txKind,
+  const auto r = stm::atomically(domain_, cfg_.txKind,
                                  [&](stm::Tx& tx) { return getTx(tx, k); });
   st.endOp();
   return r;
 }
 
 bool RBTree::move(Key from, Key to) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically([&](stm::Tx& tx) {
+  const bool r = stm::atomically(domain_, [&](stm::Tx& tx) {
     if (containsTx(tx, to)) return false;
     const std::optional<Value> v = getTx(tx, from);
     if (!v) return false;
@@ -353,15 +361,16 @@ std::size_t rbCountRange(stm::Tx& tx, RBNode* n, Key lo, Key hi) {
 }  // namespace
 
 std::size_t RBTree::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   return rbCountRange(tx, root_.read(tx), lo, hi);
 }
 
 std::size_t RBTree::countRange(Key lo, Key hi) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
   const auto r = stm::atomically(
-      [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+      domain_, [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
 }

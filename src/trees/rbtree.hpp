@@ -43,6 +43,8 @@ struct RBTreeConfig {
   // unsafe for a structure whose delete physically transplants nodes; see
   // DESIGN.md.)
   stm::TxKind txKind = stm::TxKind::Normal;
+  // STM clock domain; null selects the process default.
+  stm::Domain* domain = nullptr;
 };
 
 class RBTree {
@@ -71,6 +73,7 @@ class RBTree {
   std::size_t size();
   int height();
   std::vector<Key> keysInOrder();
+  stm::Domain& domain() const { return domain_; }
   RBNode* rootForTest() { return root_.loadRelaxed(); }
 
  private:
@@ -87,6 +90,7 @@ class RBTree {
   static void deleteNode(void* p) { delete static_cast<RBNode*>(p); }
 
   RBTreeConfig cfg_;
+  stm::Domain& domain_;
   stm::TxField<RBNode*> root_{nullptr};
 
   gc::ThreadRegistry registry_;

@@ -1,5 +1,7 @@
 #include "trees/sftree.hpp"
 
+#include "gc/tx_guard.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
@@ -20,7 +22,9 @@ constexpr int kMaintenanceDepthLimit = 1 << 20;
 
 }  // namespace
 
-SFTree::SFTree(SFTreeConfig cfg) : cfg_(cfg) {
+SFTree::SFTree(SFTreeConfig cfg)
+    : cfg_(cfg),
+      domain_(cfg.domain != nullptr ? *cfg.domain : stm::defaultDomain()) {
   root_ = new SFNode(kInfiniteKey, 0);
   if (cfg_.startMaintenance && (cfg_.rotations || cfg_.removals)) {
     startMaintenance();
@@ -132,14 +136,16 @@ SFNode* SFTree::find(stm::Tx& tx, Key k) const {
 // Abstract operations
 // --------------------------------------------------------------------------
 bool SFTree::containsTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   SFNode* curr = find(tx, k);
   if (curr->key != k) return false;
   return !curr->deleted.read(tx);
 }
 
 std::optional<Value> SFTree::getTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   SFNode* curr = find(tx, k);
   if (curr->key != k) return std::nullopt;
   if (curr->deleted.read(tx)) return std::nullopt;
@@ -148,11 +154,22 @@ std::optional<Value> SFTree::getTx(stm::Tx& tx, Key k) {
 
 bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
   assert(k < kInfiniteKey && "user keys must be < +inf sentinel");
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   SFNode* curr = find(tx, k);
   if (curr->key == k) {
     if (curr->deleted.read(tx)) {
       // Logically deleted: revive the node (abstraction-only update).
+      // Elastic mode cuts all but the most recent reads, so find()'s pin of
+      // curr->removed may have slid out of the window by now; re-pin it
+      // directly before the first write (which folds the window into the
+      // read set) so a concurrent rotation-copy or physical removal of
+      // curr is a detectable conflict — otherwise the revive could commit
+      // onto an unlinked node and be lost.
+      if (cfg_.ops == OpsVariant::Optimized &&
+          curr->removed.read(tx) != RemState::NotRemoved) {
+        tx.restart();
+      }
       curr->deleted.write(tx, false);
       curr->value.write(tx, v);
       updateTicks_.fetch_add(1, std::memory_order_relaxed);
@@ -174,10 +191,18 @@ bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
 }
 
 bool SFTree::eraseTx(stm::Tx& tx, Key k) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   SFNode* curr = find(tx, k);
   if (curr->key != k) return false;
   if (curr->deleted.read(tx)) return false;
+  // Same elastic-cut subtlety as the revive path in insertTx: re-pin the
+  // removal flag right before the write so the window still holds it when
+  // it is folded into the read set.
+  if (cfg_.ops == OpsVariant::Optimized &&
+      curr->removed.read(tx) != RemState::NotRemoved) {
+    tx.restart();
+  }
   // Logical deletion only: the structure is untouched (paper: "this
   // operation never modifies the tree structure"); the maintenance thread
   // unlinks the node later.
@@ -202,16 +227,17 @@ std::size_t countRangeRec(stm::Tx& tx, SFNode* n, Key lo, Key hi) {
 }  // namespace
 
 std::size_t SFTree::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
-  gc::OpGuard guard(registry_);
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
   // The sentinel's key is +inf, so the user range never includes it.
   return countRangeRec(tx, root_->left.read(tx), lo, hi);
 }
 
 std::size_t SFTree::countRange(Key lo, Key hi) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
   const auto r = stm::atomically(
-      [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+      domain_, [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
 }
@@ -223,39 +249,39 @@ stm::TxKind SFTree::updateTxKind() const {
 }
 
 bool SFTree::insert(Key k, Value v) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
   const bool r = stm::atomically(
-      updateTxKind(), [&](stm::Tx& tx) { return insertTx(tx, k, v); });
+      domain_, updateTxKind(), [&](stm::Tx& tx) { return insertTx(tx, k, v); });
   st.endOp();
   if (r) sizeEstimate_.fetch_add(1, std::memory_order_relaxed);
   return r;
 }
 
 bool SFTree::erase(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically(updateTxKind(),
-                                 [&](stm::Tx& tx) { return eraseTx(tx, k); });
+  const bool r = stm::atomically(
+      domain_, updateTxKind(), [&](stm::Tx& tx) { return eraseTx(tx, k); });
   st.endOp();
   if (r) sizeEstimate_.fetch_sub(1, std::memory_order_relaxed);
   return r;
 }
 
 bool SFTree::contains(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
   const bool r = stm::atomically(
-      cfg_.txKind, [&](stm::Tx& tx) { return containsTx(tx, k); });
+      domain_, cfg_.txKind, [&](stm::Tx& tx) { return containsTx(tx, k); });
   st.endOp();
   return r;
 }
 
 std::optional<Value> SFTree::get(Key k) {
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const auto r =
-      stm::atomically(cfg_.txKind, [&](stm::Tx& tx) { return getTx(tx, k); });
+  const auto r = stm::atomically(domain_, cfg_.txKind,
+                                 [&](stm::Tx& tx) { return getTx(tx, k); });
   st.endOp();
   return r;
 }
@@ -263,9 +289,9 @@ std::optional<Value> SFTree::get(Key k) {
 bool SFTree::move(Key from, Key to) {
   // Reusability (paper §5.4): compose erase + insert from the public
   // interface into one atomic, deadlock-free operation via flat nesting.
-  auto& st = stm::threadStats();
+  auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically(updateTxKind(), [&](stm::Tx& tx) {
+  const bool r = stm::atomically(domain_, updateTxKind(), [&](stm::Tx& tx) {
     if (containsTx(tx, to)) return false;
     const std::optional<Value> v = getTx(tx, from);
     if (!v) return false;
@@ -412,21 +438,21 @@ SFTree::StructuralResult SFTree::removePhysical(stm::Tx& tx, SFNode* parent,
 
 bool SFTree::tryRotateRight(SFNode* parent, bool leftChild) {
   const StructuralResult res = stm::atomically(
-      [&](stm::Tx& tx) { return rotateRight(tx, parent, leftChild); });
+      domain_, [&](stm::Tx& tx) { return rotateRight(tx, parent, leftChild); });
   if (res.unlinked != nullptr) retireNode(res.unlinked);
   return res.changed;
 }
 
 bool SFTree::tryRotateLeft(SFNode* parent, bool leftChild) {
   const StructuralResult res = stm::atomically(
-      [&](stm::Tx& tx) { return rotateLeft(tx, parent, leftChild); });
+      domain_, [&](stm::Tx& tx) { return rotateLeft(tx, parent, leftChild); });
   if (res.unlinked != nullptr) retireNode(res.unlinked);
   return res.changed;
 }
 
 bool SFTree::tryRemovePhysical(SFNode* parent, bool leftChild) {
   const StructuralResult res = stm::atomically(
-      [&](stm::Tx& tx) { return removePhysical(tx, parent, leftChild); });
+      domain_, [&](stm::Tx& tx) { return removePhysical(tx, parent, leftChild); });
   if (res.unlinked != nullptr) retireNode(res.unlinked);
   return res.changed;
 }

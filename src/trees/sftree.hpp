@@ -69,6 +69,10 @@ enum class OpsVariant : std::uint8_t {
 
 struct SFTreeConfig {
   OpsVariant ops = OpsVariant::Optimized;
+  // STM clock domain the tree's transactions run against; null selects the
+  // process default. Give independent trees independent domains (e.g. one
+  // per shard) to take their commits off the shared version clock.
+  stm::Domain* domain = nullptr;
   // Transaction kind used by the abstract operations (Normal, or Elastic to
   // run on the E-STM-equivalent mode). With the Portable ops variant,
   // Elastic applies to read-only operations only: Algorithm 1's updates
@@ -180,6 +184,9 @@ class SFTree {
   }
 
   const SFTreeConfig& config() const { return cfg_; }
+  // The STM clock domain this tree runs on (the configured one, or the
+  // process default).
+  stm::Domain& domain() const { return domain_; }
   // Transaction kind for update operations (elastic only when safe; see
   // SFTreeConfig::txKind). Public so composed multi-tree operations (e.g.
   // ShardedMap::move) run under the same safety rule as the tree's own.
@@ -226,6 +233,7 @@ class SFTree {
   static void deleteNode(void* p) { delete static_cast<SFNode*>(p); }
 
   SFTreeConfig cfg_;
+  stm::Domain& domain_;
   SFNode* root_;  // sentinel, key == kInfiniteKey, never rotated/removed
 
   gc::ThreadRegistry registry_;

@@ -1,5 +1,7 @@
 #include "vacation/manager.hpp"
 
+#include "gc/tx_guard.hpp"
+
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -86,7 +88,7 @@ Customer* Manager::findCustomer(stm::Tx& tx, Key customerId) {
 
 bool Manager::addReservation(stm::Tx& tx, ReservationType type, Key id,
                              std::int64_t num, Money price) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Reservation* r = findReservation(tx, type, id);
   if (r == nullptr) {
     if (num < 1 || price < 0) return false;
@@ -102,14 +104,14 @@ bool Manager::addReservation(stm::Tx& tx, ReservationType type, Key id,
 
 bool Manager::deleteReservationCapacity(stm::Tx& tx, ReservationType type,
                                         Key id, std::int64_t num) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Reservation* r = findReservation(tx, type, id);
   if (r == nullptr) return false;
   return r->addToTotal(tx, -num);
 }
 
 bool Manager::deleteFlight(stm::Tx& tx, Key id) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Reservation* r = findReservation(tx, ReservationType::Flight, id);
   if (r == nullptr) return false;
   if (r->numUsed(tx) > 0) return false;  // seats in use: cannot drop
@@ -119,7 +121,7 @@ bool Manager::deleteFlight(stm::Tx& tx, Key id) {
 }
 
 bool Manager::addCustomer(stm::Tx& tx, Key customerId) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   if (customers_->containsTx(tx, customerId)) return false;
   auto* fresh = new Customer(customerId);
   tx.onAbortDelete(fresh, &deleteCustomerObj);
@@ -128,7 +130,7 @@ bool Manager::addCustomer(stm::Tx& tx, Key customerId) {
 }
 
 bool Manager::deleteCustomer(stm::Tx& tx, Key customerId) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Customer* c = findCustomer(tx, customerId);
   if (c == nullptr) return false;
   // Cancel every reservation the customer holds (releases capacity).
@@ -142,27 +144,27 @@ bool Manager::deleteCustomer(stm::Tx& tx, Key customerId) {
 }
 
 Money Manager::queryCustomerBill(stm::Tx& tx, Key customerId) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Customer* c = findCustomer(tx, customerId);
   if (c == nullptr) return -1;
   return c->bill(tx);
 }
 
 std::int64_t Manager::queryFree(stm::Tx& tx, ReservationType type, Key id) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Reservation* r = findReservation(tx, type, id);
   return r == nullptr ? -1 : r->numFree(tx);
 }
 
 Money Manager::queryPrice(stm::Tx& tx, ReservationType type, Key id) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Reservation* r = findReservation(tx, type, id);
   return r == nullptr ? -1 : r->price(tx);
 }
 
 bool Manager::reserve(stm::Tx& tx, ReservationType type, Key customerId,
                       Key id) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Customer* c = findCustomer(tx, customerId);
   if (c == nullptr) return false;
   Reservation* r = findReservation(tx, type, id);
@@ -179,7 +181,7 @@ bool Manager::reserve(stm::Tx& tx, ReservationType type, Key customerId,
 
 bool Manager::cancel(stm::Tx& tx, ReservationType type, Key customerId,
                      Key id) {
-  gc::OpGuard guard(registry_);
+  gc::txOpGuard(tx, registry_);
   Customer* c = findCustomer(tx, customerId);
   if (c == nullptr) return false;
   Reservation* r = findReservation(tx, type, id);

@@ -42,7 +42,7 @@ VacationResult runVacation(const VacationConfig& cfg) {
   Manager manager(cfg.tableKind, cfg.txKind);
   initializeManager(manager, cfg.client, cfg.seed);
 
-  stm::Runtime::instance().resetStats();
+  stm::defaultDomain().resetStats();
 
   const std::int64_t perThread =
       std::max<std::int64_t>(1, cfg.transactions / cfg.threads);
@@ -70,7 +70,7 @@ VacationResult runVacation(const VacationConfig& cfg) {
   VacationResult result;
   result.seconds = std::chrono::duration<double>(end - start).count();
   for (const auto& s : stats) result.clientStats += s;
-  result.stm = stm::Runtime::instance().aggregateStats();
+  result.stm = stm::defaultDomain().aggregateStats();
   result.consistent = manager.checkConsistency(&result.consistencyError);
   return result;
 }

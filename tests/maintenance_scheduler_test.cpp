@@ -68,9 +68,17 @@ TEST(MaintenanceSchedulerTest, FewWorkersQuiesceManyTrees) {
   }
 
   // The scheduler (not the caller) must bring every tree near log height.
-  for (auto& tree : forest) {
-    trees::SFTree* t = tree.get();
-    waitFor([t] { return t->height() <= 18; });  // ~2 * log2(512)
+  // height() is a quiesced-only walk, so pause the tree's entry around
+  // each probe (in-flight passes drain before pause() returns).
+  for (int i = 0; i < kTrees; ++i) {
+    trees::SFTree* t = forest[i].get();
+    const auto h = handles[i];
+    waitFor([&scheduler, t, h] {
+      scheduler.pause(h);
+      const int height = t->height();
+      scheduler.resume(h);
+      return height <= 18;  // ~2 * log2(512)
+    });
   }
 
   // Pause scheduling per tree, then verify invariants on a quiesced tree.

@@ -183,7 +183,7 @@ TEST(SkipListTest, TowersSpanMultipleLevels) {
   for (Key k = 0; k < 2048; ++k) sl.insert(k, k);
   // With p=1/2 towers, lookups must behave logarithmically: spot-check via
   // the transactional read count of a contains.
-  stm::Runtime::instance().resetStats();
+  stm::defaultDomain().resetStats();
   auto& stats = stm::threadStats();
   stats.reset();
   stats.beginOp();

@@ -20,16 +20,16 @@ struct LockModeCase {
 class StmBasicTest : public ::testing::TestWithParam<LockModeCase> {
  protected:
   void SetUp() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.lockMode = GetParam().mode;
     cfg.backend = GetParam().backend;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
   void TearDown() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.lockMode = stm::LockMode::Lazy;
     cfg.backend = stm::TmBackend::Orec;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
 };
 

@@ -25,16 +25,16 @@ struct LockModeCase {
 class StmConcurrentTest : public ::testing::TestWithParam<LockModeCase> {
  protected:
   void SetUp() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.lockMode = GetParam().mode;
     cfg.backend = GetParam().backend;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
   void TearDown() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.lockMode = stm::LockMode::Lazy;
     cfg.backend = stm::TmBackend::Orec;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
 
   static constexpr int kThreads = 4;
@@ -179,7 +179,7 @@ TEST_P(StmConcurrentTest, UreadReturnsOnlyCommittedValues) {
 TEST_P(StmConcurrentTest, OrecCollisionsAreSafe) {
   // Shrink the orec table to 8 entries so unrelated fields conflict; the
   // counters must still be exact.
-  auto& orecs = stm::Runtime::instance().orecs();
+  auto& orecs = stm::defaultDomain().orecs();
   orecs.setMaskForTest(7);
   stm::TxField<std::int64_t> a(0);
   stm::TxField<std::int64_t> b(0);
@@ -264,7 +264,7 @@ TEST_P(StmConcurrentTest, SnapshotExtensionAllowsLongReaders) {
 }
 
 TEST_P(StmConcurrentTest, AggregateStatsSumAcrossThreads) {
-  stm::Runtime::instance().resetStats();
+  stm::defaultDomain().resetStats();
   stm::TxField<std::int64_t> x(0);
   std::vector<std::thread> threads;
   for (int t = 0; t < 2; ++t) {
@@ -275,7 +275,7 @@ TEST_P(StmConcurrentTest, AggregateStatsSumAcrossThreads) {
     });
   }
   for (auto& th : threads) th.join();
-  const auto agg = stm::Runtime::instance().aggregateStats();
+  const auto agg = stm::defaultDomain().aggregateStats();
   EXPECT_GE(agg.commits, 200u);
   EXPECT_GE(agg.reads, 200u);
 }

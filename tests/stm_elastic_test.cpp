@@ -18,7 +18,7 @@ namespace {
 class StmElasticTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    stm::Runtime::instance().setLockMode(stm::LockMode::Lazy);
+    stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
   }
 };
 
@@ -198,7 +198,7 @@ TEST_F(StmElasticTest, WindowBecomesStickyAfterWrite) {
 }
 
 TEST_F(StmElasticTest, ElasticCutsAreCounted) {
-  stm::Runtime::instance().resetStats();
+  stm::defaultDomain().resetStats();
   constexpr int kFields = 10;
   std::vector<std::unique_ptr<stm::TxField<std::int64_t>>> fields;
   for (int i = 0; i < kFields; ++i) {

@@ -17,14 +17,14 @@ namespace {
 class StmNorecTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.backend = stm::TmBackend::NOrec;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
   void TearDown() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.backend = stm::TmBackend::Orec;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
 };
 
@@ -47,7 +47,7 @@ class OneShot {
 };
 
 TEST_F(StmNorecTest, SequenceLockAdvancesByTwoPerWriterCommit) {
-  auto& seq = stm::Runtime::instance().norecSeq();
+  auto& seq = stm::defaultDomain().norecSeq();
   stm::TxField<std::int64_t> x(0);
   const auto before = seq.load();
   stm::atomically([&](stm::Tx& tx) { x.write(tx, 1); });
@@ -57,7 +57,7 @@ TEST_F(StmNorecTest, SequenceLockAdvancesByTwoPerWriterCommit) {
 }
 
 TEST_F(StmNorecTest, ReadOnlyCommitDoesNotTouchSequenceLock) {
-  auto& seq = stm::Runtime::instance().norecSeq();
+  auto& seq = stm::defaultDomain().norecSeq();
   stm::TxField<std::int64_t> x(7);
   const auto before = seq.load();
   stm::atomically([&](stm::Tx& tx) { (void)x.read(tx); });

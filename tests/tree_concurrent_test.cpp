@@ -45,16 +45,16 @@ std::string scenarioName(const ::testing::TestParamInfo<Scenario>& info) {
 class TreeConcurrentTest : public ::testing::TestWithParam<Scenario> {
  protected:
   void SetUp() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.lockMode = GetParam().lockMode;
     cfg.backend = GetParam().backend;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
   void TearDown() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.lockMode = stm::LockMode::Lazy;
     cfg.backend = stm::TmBackend::Orec;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
 
   std::unique_ptr<trees::ITransactionalMap> makeMap() {

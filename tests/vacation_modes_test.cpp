@@ -24,16 +24,16 @@ struct ModeCase {
 class VacationModesTest : public ::testing::TestWithParam<ModeCase> {
  protected:
   void SetUp() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.lockMode = GetParam().lockMode;
     cfg.backend = GetParam().backend;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
   void TearDown() override {
-    auto cfg = stm::Runtime::instance().config();
+    auto cfg = stm::defaultDomain().config();
     cfg.lockMode = stm::LockMode::Lazy;
     cfg.backend = stm::TmBackend::Orec;
-    stm::Runtime::instance().setConfig(cfg);
+    stm::defaultDomain().setConfig(cfg);
   }
 };
 
