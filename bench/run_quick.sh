@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Quick-mode read-path benchmark sweep: runs the benches that exercise the
+# read path (stm_micro RO/logged primitives, fig3 read-dominated tree sweep,
+# fig5b write-heavy move composition, table1 reads-per-operation) with short
+# durations and consolidates their --json outputs into one
+# BENCH_readpath.json, so the perf trajectory has comparable data points
+# per commit.
+#
+#   bench/run_quick.sh [BUILD_DIR] [OUTPUT_JSON]
+#
+# Defaults: BUILD_DIR=build, OUTPUT_JSON=BENCH_readpath.json (in the
+# current directory). Requires jq for the merge.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_readpath.json}"
+
+if ! command -v jq >/dev/null; then
+  echo "run_quick.sh: jq is required to merge the reports" >&2
+  exit 1
+fi
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "run_quick.sh: build dir '$BUILD_DIR' not found" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Read-dominated + write-heavy tree configurations. 0% updates at 8 threads
+# is the headline read-path configuration; 50% and fig5b move are the
+# no-regression guards.
+"$BUILD_DIR/fig3_microbench" --threads=8 --updates=0,50 --duration-ms=300 \
+  --size-log=12 --json="$TMP/fig3.json" >/dev/null
+"$BUILD_DIR/fig5b_move" --threads=4 --duration-ms=200 \
+  --json="$TMP/fig5b.json" >/dev/null
+"$BUILD_DIR/table1_reads" --threads=2 --duration-ms=150 \
+  --json="$TMP/table1.json" >/dev/null
+
+# STM primitives (google-benchmark). stm_micro is skipped gracefully when
+# the library was unavailable at configure time.
+if [[ -x "$BUILD_DIR/stm_micro" ]]; then
+  "$BUILD_DIR/stm_micro" \
+    --benchmark_filter='ReadOnly|LoggedRead|WriteSetLookup|Uread' \
+    --benchmark_min_time=0.2 --json="$TMP/stm_micro.json" >/dev/null
+else
+  echo '{"skipped": "stm_micro not built (google-benchmark missing)"}' \
+    > "$TMP/stm_micro.json"
+fi
+
+jq -n \
+  --slurpfile fig3 "$TMP/fig3.json" \
+  --slurpfile fig5b "$TMP/fig5b.json" \
+  --slurpfile table1 "$TMP/table1.json" \
+  --slurpfile micro "$TMP/stm_micro.json" \
+  '{
+     bench: "readpath",
+     fig3_microbench: $fig3[0],
+     fig5b_move: $fig5b[0],
+     table1_reads: $table1[0],
+     stm_micro: $micro[0]
+   }' > "$OUT"
+
+echo "consolidated report written to $OUT"

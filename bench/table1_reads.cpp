@@ -50,6 +50,12 @@ int main(int argc, char** argv) {
   for (const double u : updates) header.push_back(bench::Table::num(u, 0) + "%");
   bench::Table table(header);
 
+  bench::JsonReport json("table1_reads");
+  json.meta()
+      .set("duration_ms", durationMs)
+      .set("size_log", sizeLog)
+      .set("threads", threads);
+
   stm::defaultDomain().setLockMode(stm::LockMode::Lazy);
   for (const auto kind : kinds) {
     std::vector<std::string> row{trees::mapKindName(kind)};
@@ -68,6 +74,14 @@ int main(int argc, char** argv) {
       // by a single retry storm against the rotator thread.
       row.push_back(bench::Table::num(result.stm.maxOpReads) + " (" +
                     bench::Table::num(result.stm.meanOpReads(), 1) + ")");
+      json.addRecord()
+          .set("tree", trees::mapKindName(kind))
+          .set("update_percent", u)
+          .set("max_op_reads", result.stm.maxOpReads)
+          .set("mean_op_reads", result.stm.meanOpReads())
+          .set("ops_per_us", result.opsPerMicrosecond())
+          .set("ro_commits", result.stm.roCommits)
+          .set("ro_snapshot_extensions", result.stm.roSnapshotExtensions);
     }
     table.addRow(row);
   }
@@ -78,5 +92,5 @@ int main(int argc, char** argv) {
       "RB) blow up by >10x\nfrom 0%% to 10%% updates; the "
       "speculation-friendly tree stays within a few x\n(judge by the mean "
       "when a single retry storm inflates a max cell).\n");
-  return 0;
+  return json.writeFile(cli.jsonPath()) ? 0 : 1;
 }

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Schema guard for the consolidated read-path benchmark report.
+
+CI runs bench/run_quick.sh and then this checker over BENCH_readpath.json.
+The trajectory tooling keys on these fields; a bench refactor that renames
+or drops one silently breaks the perf history, so drift fails the build.
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_schema: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(obj, keys, where):
+    for key in keys:
+        if key not in obj:
+            fail(f"missing key '{key}' in {where}")
+
+
+def check_repo_report(report, name, result_keys):
+    require(report, ["bench", "meta", "results"], name)
+    if not isinstance(report["results"], list) or not report["results"]:
+        fail(f"{name}.results must be a non-empty list")
+    for i, rec in enumerate(report["results"]):
+        require(rec, result_keys, f"{name}.results[{i}]")
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_readpath.json"
+    with open(path) as f:
+        top = json.load(f)
+
+    require(top, ["bench", "fig3_microbench", "fig5b_move", "table1_reads",
+                  "stm_micro"], "top level")
+    if top["bench"] != "readpath":
+        fail("top-level bench tag must be 'readpath'")
+
+    check_repo_report(top["fig3_microbench"], "fig3_microbench",
+                      ["tree", "update_percent", "threads", "ops_per_us",
+                       "abort_ratio"])
+    check_repo_report(top["fig5b_move"], "fig5b_move", ["ops_per_us"])
+    check_repo_report(top["table1_reads"], "table1_reads",
+                      ["tree", "update_percent", "max_op_reads",
+                       "mean_op_reads", "ops_per_us", "ro_commits",
+                       "ro_snapshot_extensions"])
+
+    micro = top["stm_micro"]
+    if "skipped" in micro:
+        print("check_bench_schema: stm_micro skipped (library not built)")
+    else:
+        # google-benchmark JSON: context + benchmarks[].{name, real_time,...}
+        require(micro, ["context", "benchmarks"], "stm_micro")
+        names = {b.get("name", "") for b in micro["benchmarks"]}
+        for expected in ("BM_ReadOnlyTransaction/512",
+                         "BM_LoggedReadTransaction/512",
+                         "BM_WriteSetLookup/512"):
+            if not any(n.startswith(expected) for n in names):
+                fail(f"stm_micro is missing benchmark '{expected}'")
+
+    print(f"check_bench_schema: {path} OK")
+
+
+if __name__ == "__main__":
+    main()

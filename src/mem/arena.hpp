@@ -1,0 +1,146 @@
+// Slab arena for tree/list node allocation.
+//
+// The structures allocate one fixed-size node per insert and retire nodes
+// through the quiescence GC (gc/limbo_list.hpp). Routing that traffic
+// through the global allocator costs a malloc/free round trip per node,
+// scatters hot nodes across the heap (header words between every node), and
+// funnels every domain's allocation through one allocator lock. The arena
+// replaces it with:
+//
+//   * slabs: 64 KiB chunks, aligned to their own size, carved into
+//     cache-line-aligned blocks of one fixed stride — no per-block header,
+//     adjacent allocations are adjacent in memory;
+//   * per-thread free-list shards: frees and reuses hash the calling thread
+//     onto one of several independently locked free lists, so concurrent
+//     allocation/retirement does not serialize on one lock;
+//   * GC integration: `SlabArena::recycle(p)` finds the owning arena from
+//     the slab header (slab base = pointer rounded down to the slab size),
+//     so a limbo-list deleter can return a node to the arena of whatever
+//     domain/structure it came from without carrying a context pointer.
+//
+// Safety against ABA on recycled nodes is inherited from the quiescence
+// protocol: a node is only retired into the arena by the limbo list after
+// every operation that could still reference it has completed, exactly as
+// with the global allocator before. The arena never returns memory to the
+// OS while alive; slabs are freed wholesale in the destructor.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace sftree::mem {
+
+class SlabArena {
+ public:
+  // 64 KiB slabs: big enough that the bump path is rare, small enough that
+  // an idle structure wastes little. Must be a power of two — recycle()
+  // masks a block pointer down to its slab base.
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 16;
+  static constexpr std::size_t kBlockAlign = 64;  // cache line
+  static constexpr std::size_t kFreeShards = 8;   // power of two
+  // Blocks handed from the bump region to a free shard per refill, so a
+  // burst of allocations takes the slab mutex once, not per block.
+  static constexpr std::size_t kRefillBatch = 16;
+
+  explicit SlabArena(std::size_t blockSize);
+  ~SlabArena();
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  // One block, cache-line aligned, uninitialized. Never returns null
+  // (allocation failure throws std::bad_alloc).
+  void* allocate();
+
+  // Returns a block to the arena that allocated it, found via the slab
+  // header — callable from any thread, with or without a reference to the
+  // arena (this is what lets a limbo-list deleter be a plain function
+  // pointer). The block must have come from a live SlabArena.
+  static void recycle(void* p);
+
+  std::size_t blockSize() const { return blockSize_; }
+  std::size_t strideBytes() const { return stride_; }
+
+  // Diagnostics (racy snapshots, test use).
+  std::size_t slabCount() const;
+  std::uint64_t allocated() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recycled() const {
+    return recycled_.load(std::memory_order_relaxed);
+  }
+  // Blocks currently handed out (allocated - recycled).
+  std::int64_t liveBlocks() const {
+    return static_cast<std::int64_t>(allocated()) -
+           static_cast<std::int64_t>(recycled());
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  // At the base of every slab; blocks start at the next cache line.
+  struct SlabHeader {
+    SlabArena* owner;
+  };
+
+  struct alignas(64) FreeShard {
+    std::mutex mu;
+    FreeNode* head = nullptr;
+  };
+
+  void pushFree(void* p);
+  // Carves up to kRefillBatch fresh blocks; returns one and pushes the rest
+  // onto `shard`.
+  void* refill(FreeShard& shard);
+
+  static std::size_t threadShard();
+
+  const std::size_t blockSize_;
+  const std::size_t stride_;
+
+  FreeShard shards_[kFreeShards];
+
+  std::mutex slabMu_;  // guards slabs_ and the bump region
+  std::vector<void*> slabs_;
+  unsigned char* bumpNext_ = nullptr;
+  unsigned char* bumpEnd_ = nullptr;
+
+  std::atomic<std::uint64_t> allocated_{0};
+  std::atomic<std::uint64_t> recycled_{0};
+};
+
+// Typed convenience wrapper: placement-construction plus a deleter with the
+// `void(*)(void*)` signature the limbo list and Tx::onAbortDelete expect.
+template <typename T>
+class NodeArena {
+ public:
+  NodeArena() : arena_(sizeof(T)) {}
+
+  template <typename... Args>
+  T* create(Args&&... args) {
+    return new (arena_.allocate()) T(std::forward<Args>(args)...);
+  }
+
+  // Destroys and recycles a node created by any NodeArena<T> — the slab
+  // header routes the block back to its owning arena, so this static
+  // function is directly usable as a gc::LimboList deleter.
+  static void destroy(void* p) {
+    static_cast<T*>(p)->~T();
+    SlabArena::recycle(p);
+  }
+
+  SlabArena& raw() { return arena_; }
+  const SlabArena& raw() const { return arena_; }
+
+ private:
+  SlabArena arena_;
+};
+
+}  // namespace sftree::mem

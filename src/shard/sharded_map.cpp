@@ -163,8 +163,15 @@ std::size_t ShardedMap::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
 std::size_t ShardedMap::countRange(Key lo, Key hi) {
   auto& st = stm::threadStats(homeDomain());
   st.beginOp();
+  // ReadOnly unconditionally (never elastic — countRange promises a
+  // consistent snapshot): with per-shard domains the zero-logging mode
+  // verifies the already-touched shards' clocks at each join (and
+  // transparently promotes to a logged read-write transaction if writers
+  // keep moving them), so the common quiet case logs nothing across all
+  // shards.
   const auto r = stm::atomically(
-      homeDomain(), [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+      homeDomain(), stm::TxKind::ReadOnly,
+      [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
 }

@@ -31,7 +31,14 @@ enum class TmBackend : std::uint8_t { Orec, NOrec };
 //    implicitly dropped ("cut") instead of being validated at commit. After
 //    the first write the transaction behaves like a Normal one (the window
 //    is folded into the read set).
-enum class TxKind : std::uint8_t { Normal, Elastic };
+//  * ReadOnly: a hint that the transaction will not write. On the orec
+//    backend reads are validated against a fixed snapshot with *no read-set
+//    logging* (a stale snapshot re-reads the clock and restarts the body
+//    instead of revalidating); on NOrec the value log is kept but the
+//    write-set machinery is skipped. A write inside a ReadOnly transaction
+//    transparently restarts the attempt in read-write (Normal) mode, so the
+//    hint is always safe.
+enum class TxKind : std::uint8_t { Normal, Elastic, ReadOnly };
 
 struct Config {
   LockMode lockMode = LockMode::Lazy;

@@ -71,6 +71,12 @@ class Domain {
   OrecTable& orecs() { return orecs_; }
   // NOrec global sequence lock: even = free, odd = a writer is committing.
   std::atomic<std::uint64_t>& norecSeq() { return norecSeq_; }
+  // Number of orec-backend committers currently between their clock tick
+  // and the end of their write-back. Zero-logging read-only snapshots may
+  // use the clock fast path only when this is zero at snapshot time: a
+  // commit that ticked *before* the snapshot could otherwise still be
+  // writing back, which the reader's clock-equality check cannot see.
+  std::atomic<std::uint64_t>& writebackActive() { return writebackActive_; }
 
   const Config& config() const { return config_; }
   // Must only be called while no transaction is running against this domain
@@ -95,6 +101,7 @@ class Domain {
   OrecTable orecs_;
   Config config_;
   alignas(64) std::atomic<std::uint64_t> norecSeq_{0};
+  alignas(64) std::atomic<std::uint64_t> writebackActive_{0};
 
   // Guarded by the global slot registry mutex (domain.cpp).
   std::vector<std::shared_ptr<detail::StatsSlot>> live_;

@@ -85,6 +85,9 @@ inline std::uint64_t nextRandom(std::uint64_t& s) {
 }  // namespace
 
 void backoff(Tx& tx) {
+  // Deliberate restarts (RO snapshot refresh, RO->RW promotion) are not
+  // conflicts; waiting would only delay the fresh snapshot.
+  if (tx.consumeBackoffWaiver()) return;
   const Config& cfg = tx.rootDomain().config();
   const std::uint32_t shift = std::min<std::uint32_t>(tx.attempts(), 16);
   std::uint64_t ceiling = std::uint64_t{cfg.backoffMinSpins} << shift;

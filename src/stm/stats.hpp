@@ -48,6 +48,17 @@ struct ThreadStats {
   std::uint64_t writes = 0;
   std::uint64_t elasticCuts = 0;  // elastic window slides past an old entry
   std::uint64_t snapshotExtensions = 0;
+  // Read-only transaction mode (TxKind::ReadOnly) breakdown.
+  std::uint64_t roCommits = 0;  // commits that ran in zero-logging RO mode
+  // Stale RO snapshot: clock re-read + restart of the op body (the RO
+  // equivalent of a snapshot extension; not counted as an abort).
+  std::uint64_t roSnapshotExtensions = 0;
+  std::uint64_t roPromotions = 0;  // write inside RO -> restarted read-write
+  // Write-set lookup cost: findWrite/locked-orec probes that passed the
+  // bloom filter, and the total entries/slots they examined. The mean
+  // probe length is the O(W)-scan regression canary.
+  std::uint64_t writeLookups = 0;
+  std::uint64_t writeProbes = 0;
 
   // Operation bracket (Table 1 instrumentation). Reentrant: nested brackets
   // (an operation composed into an enclosing one, e.g. inside vacation
@@ -81,17 +92,36 @@ struct ThreadStats {
     if (opOpen) ++opReads;
   }
 
+  // Batched variant: the Tx counts reads in a plain register-resident
+  // counter and flushes once per attempt (commit or abort), taking the
+  // atomic-ref pair off the per-read fast path.
+  void onReadBatch(std::uint64_t n) {
+    detail::statBump(reads, n);
+    if (opOpen) opReads += n;
+  }
+
   void onUread() {
     detail::statBump(ureads);
     // Unit loads are deliberately *not* counted as transactional reads in
     // the operation bracket: Table 1 counts reads that incur TM bookkeeping.
   }
 
+  void onUreadBatch(std::uint64_t n) { detail::statBump(ureads, n); }
+
   void onWrite() { detail::statBump(writes); }
   void onCommit() { detail::statBump(commits); }
   void onAbort() { detail::statBump(aborts); }
   void onElasticCut() { detail::statBump(elasticCuts); }
   void onSnapshotExtension() { detail::statBump(snapshotExtensions); }
+  void onRoCommit() { detail::statBump(roCommits); }
+  void onRoSnapshotExtension() { detail::statBump(roSnapshotExtensions); }
+  void onRoPromotion() { detail::statBump(roPromotions); }
+  // Batched like onReadBatch: the Tx accumulates lookup/probe counts in
+  // plain members and flushes once per attempt.
+  void onWriteLookup(std::uint64_t lookups, std::uint64_t probes) {
+    detail::statBump(writeLookups, lookups);
+    detail::statBump(writeProbes, probes);
+  }
 
   // Concurrency-safe copy of the aggregatable counters (bracket internals
   // are left at their defaults). Used when summing over live slots.
@@ -104,6 +134,11 @@ struct ThreadStats {
     out.writes = detail::statLoad(writes);
     out.elasticCuts = detail::statLoad(elasticCuts);
     out.snapshotExtensions = detail::statLoad(snapshotExtensions);
+    out.roCommits = detail::statLoad(roCommits);
+    out.roSnapshotExtensions = detail::statLoad(roSnapshotExtensions);
+    out.roPromotions = detail::statLoad(roPromotions);
+    out.writeLookups = detail::statLoad(writeLookups);
+    out.writeProbes = detail::statLoad(writeProbes);
     out.ops = detail::statLoad(ops);
     out.totalOpReads = detail::statLoad(totalOpReads);
     out.maxOpReads = detail::statLoad(maxOpReads);
@@ -120,6 +155,11 @@ struct ThreadStats {
     detail::statStore(writes, 0);
     detail::statStore(elasticCuts, 0);
     detail::statStore(snapshotExtensions, 0);
+    detail::statStore(roCommits, 0);
+    detail::statStore(roSnapshotExtensions, 0);
+    detail::statStore(roPromotions, 0);
+    detail::statStore(writeLookups, 0);
+    detail::statStore(writeProbes, 0);
     detail::statStore(ops, 0);
     detail::statStore(totalOpReads, 0);
     detail::statStore(maxOpReads, 0);
@@ -135,6 +175,11 @@ struct ThreadStats {
     writes += o.writes;
     elasticCuts += o.elasticCuts;
     snapshotExtensions += o.snapshotExtensions;
+    roCommits += o.roCommits;
+    roSnapshotExtensions += o.roSnapshotExtensions;
+    roPromotions += o.roPromotions;
+    writeLookups += o.writeLookups;
+    writeProbes += o.writeProbes;
     ops += o.ops;
     totalOpReads += o.totalOpReads;
     maxOpReads = std::max(maxOpReads, o.maxOpReads);
@@ -149,6 +194,12 @@ struct ThreadStats {
   double meanOpReads() const {
     return ops == 0 ? 0.0
                     : static_cast<double>(totalOpReads) / static_cast<double>(ops);
+  }
+
+  double meanWriteProbe() const {
+    return writeLookups == 0 ? 0.0
+                             : static_cast<double>(writeProbes) /
+                                   static_cast<double>(writeLookups);
   }
 };
 

@@ -68,6 +68,13 @@ void Tx::begin(Domain& d, TxKind kind, ThreadStats& stats) {
   active_ = true;
   cfg_ = d.config();
   backend_ = cfg_.backend;
+  // The ReadOnly hint survives until a write (or a run of stale restarts)
+  // withdraws it; roPromoted_ then forces the remaining attempts of this
+  // operation into Normal mode.
+  ro_ = (kind == TxKind::ReadOnly) && !roPromoted_;
+  pendingReads_ = 0;
+  pendingUreads_ = 0;
+  abortIsRestart_ = false;
   views_.clear();
   views_.push_back(DomainView{&d});
   curView_ = 0;
@@ -79,6 +86,13 @@ void Tx::begin(Domain& d, TxKind kind, ThreadStats& stats) {
   } else {
     elasticPhase_ = (kind == TxKind::Elastic);
     views_[0].rv = d.clock().now();
+    if (ro_) {
+      // The clock fast path is only sound when no committer that ticked
+      // before our snapshot is still writing back (its stores would be
+      // invisible to the clock-equality check).
+      views_[0].roFast =
+          d.writebackActive().load(std::memory_order_acquire) == 0;
+    }
   }
   readSet_.clear();
   valueLog_.clear();
@@ -87,8 +101,9 @@ void Tx::begin(Domain& d, TxKind kind, ThreadStats& stats) {
   commitHooks_.clear();
   txEndHooks_.clear();
   writeSigs_ = 0;
+  idxMask_ = 0;
   window_.clear();
-  window_.reserve(cfg_.elasticWindow);
+  if (elasticPhase_) window_.reserve(cfg_.elasticWindow);
   windowNext_ = 0;
   ++attempts_;
 }
@@ -115,6 +130,27 @@ std::size_t Tx::enterDomain(Domain& d) {
          "all domains joined by one transaction must share a TM backend");
   DomainView v{&d};
   v.rv = (backend_ == TmBackend::NOrec) ? norecWaitEven(d) : d.clock().now();
+  if (ro_ && backend_ == TmBackend::Orec) {
+    v.roFast = d.writebackActive().load(std::memory_order_acquire) == 0;
+    // Zero-logging mode has no read set to revalidate. The join is still a
+    // snapshot advance, so it is only sound if no domain we already read
+    // from has committed since its snapshot — the clocks and write-back
+    // gates stand in for the read set, and they are checked *after* the
+    // new snapshot is taken: if the new rv includes any tick of a
+    // cross-domain commit, that committer raised every gate before its
+    // first tick, so we either see its gate or (once it finished) its
+    // tick in the touched domain. A hit restarts the op body at fresh
+    // snapshots.
+    for (const DomainView& tv : views_) {
+      if (tv.roTouched &&
+          (tv.domain->clock().now() != tv.rv ||
+           tv.domain->writebackActive().load(std::memory_order_acquire) !=
+               0)) {
+        stats_->onRoSnapshotExtension();
+        roRestart();
+      }
+    }
+  }
   views_.push_back(v);
   curView_ = views_.size() - 1;
   if (backend_ == TmBackend::NOrec) {
@@ -131,11 +167,25 @@ std::size_t Tx::enterDomain(Domain& d) {
 
 void Tx::onAbort() {
   releaseHeldLocks(/*restoreOldVersion=*/true);
+  endWritebacks();
   releaseNorecSeqLocks();
-  for (const AllocEntry& a : speculativeAllocs_) a.deleter(a.ptr);
+  // LIFO: a speculative allocation may depend on an earlier one (a node
+  // carved from a speculatively created structure's arena); roll back in
+  // reverse registration order so dependents are freed before owners.
+  for (auto it = speculativeAllocs_.rbegin(); it != speculativeAllocs_.rend();
+       ++it) {
+    it->deleter(it->ptr);
+  }
   speculativeAllocs_.clear();
   commitHooks_.clear();
-  if (stats_ != nullptr) stats_->onAbort();
+  if (stats_ != nullptr) flushReadStats();
+  if (abortIsRestart_) {
+    // RO snapshot refresh or RO->RW promotion: a deliberate restart, not a
+    // conflict — already accounted by its own counter.
+    abortIsRestart_ = false;
+  } else if (stats_ != nullptr) {
+    stats_->onAbort();
+  }
   active_ = false;
   runTxEndHooks();
 }
@@ -144,29 +194,88 @@ void Tx::onAbortDelete(void* ptr, void (*deleter)(void*)) {
   speculativeAllocs_.push_back(AllocEntry{ptr, deleter});
 }
 
-void Tx::onCommit(std::function<void()> hook) {
-  commitHooks_.push_back(std::move(hook));
+// --- write-set lookup -------------------------------------------------------
+
+namespace {
+
+inline std::size_t pointerHash(const void* p) {
+  auto a = reinterpret_cast<std::uintptr_t>(p) >> 3;
+  a *= 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(a >> 32 ^ a);
 }
 
-void Tx::onTxEnd(std::function<void()> hook) {
-  txEndHooks_.push_back(std::move(hook));
+}  // namespace
+
+void Tx::writeIndexInsert(const Word* addr, std::size_t pos) {
+  std::size_t slot = pointerHash(addr) & idxMask_;
+  while (writeIdx_[slot] != 0) slot = (slot + 1) & idxMask_;
+  writeIdx_[slot] = static_cast<std::uint32_t>(pos + 1);
+}
+
+void Tx::orecIndexInsert(const std::atomic<OrecWord>* orec, std::size_t pos) {
+  std::size_t slot = pointerHash(orec) & idxMask_;
+  while (orecIdx_[slot] != 0) slot = (slot + 1) & idxMask_;
+  orecIdx_[slot] = static_cast<std::uint32_t>(pos + 1);
+}
+
+void Tx::rebuildWriteIndexes() {
+  // Capacity >= 4x the write set keeps both tables under half full until
+  // the set doubles again (distinct locked orecs never outnumber entries).
+  std::size_t cap = 4 * kWriteIndexThreshold;
+  while (cap < 4 * writeSet_.size()) cap <<= 1;
+  idxMask_ = cap - 1;
+  writeIdx_.assign(cap, 0);
+  orecIdx_.assign(cap, 0);
+  for (std::size_t i = 0; i < writeSet_.size(); ++i) {
+    writeIndexInsert(writeSet_[i].addr, i);
+    if (writeSet_[i].locked) orecIndexInsert(writeSet_[i].orec, i);
+  }
+}
+
+void Tx::noteOrecLocked(std::size_t pos) {
+  if (idxMask_ != 0) orecIndexInsert(writeSet_[pos].orec, pos);
 }
 
 Tx::WriteEntry* Tx::findWrite(const Word* addr) {
-  for (auto it = writeSet_.rbegin(); it != writeSet_.rend(); ++it) {
-    if (it->addr == addr) return &*it;
+  // Most recent write first: read-after-write overwhelmingly targets the
+  // location just written (AVL/RB rebalancing re-reads the height/color it
+  // updated one step earlier).
+  if (!writeSet_.empty() && writeSet_.back().addr == addr) {
+    ++pendingWriteLookups_;
+    ++pendingWriteProbes_;
+    return &writeSet_.back();
+  }
+  ++pendingWriteLookups_;
+  if (idxMask_ == 0) {
+    for (auto it = writeSet_.rbegin(); it != writeSet_.rend(); ++it) {
+      ++pendingWriteProbes_;
+      if (it->addr == addr) return &*it;
+    }
+    return nullptr;
+  }
+  std::size_t slot = pointerHash(addr) & idxMask_;
+  ++pendingWriteProbes_;
+  while (writeIdx_[slot] != 0) {
+    WriteEntry& we = writeSet_[writeIdx_[slot] - 1];
+    if (we.addr == addr) return &we;
+    slot = (slot + 1) & idxMask_;
+    ++pendingWriteProbes_;
   }
   return nullptr;
 }
 
-Tx::WriteEntry* Tx::findWriteByOrec(const std::atomic<OrecWord>* orec) {
-  for (auto& we : writeSet_) {
-    if (we.orec == orec && we.locked) return &we;
+Tx::WriteEntry* Tx::findLockedByOrec(const std::atomic<OrecWord>* orec) {
+  if (idxMask_ == 0) {
+    for (auto& we : writeSet_) {
+      if (we.orec == orec && we.locked) return &we;
+    }
+    return nullptr;
   }
-  // Fall back to any entry on this orec (it records the right prevVersion
-  // even when another entry holds the lock).
-  for (auto& we : writeSet_) {
+  std::size_t slot = pointerHash(orec) & idxMask_;
+  while (orecIdx_[slot] != 0) {
+    WriteEntry& we = writeSet_[orecIdx_[slot] - 1];
     if (we.orec == orec) return &we;
+    slot = (slot + 1) & idxMask_;
   }
   return nullptr;
 }
@@ -180,7 +289,7 @@ Tx::SampledWord Tx::sampleCommitted(const Word* addr,
       if (orec::owner(v1) == this) {
         // We hold the lock (eager mode). Memory still has the committed
         // value because writes are buffered until commit.
-        WriteEntry* we = findWriteByOrec(orec);
+        WriteEntry* we = findLockedByOrec(orec);
         return {atomicLoadWord(addr),
                 we ? we->prevVersion : views_[curView_].rv};
       }
@@ -198,11 +307,89 @@ Tx::SampledWord Tx::sampleCommitted(const Word* addr,
   }
 }
 
+[[noreturn]] void Tx::roRestart() {
+  // A stale RO restart re-runs the whole operation body, where a logged
+  // transaction would have revalidated its read set in place and carried
+  // on. One restart is cheap insurance on a quiet domain; a second means
+  // writers are winning the race — withdraw the hint and retry with a
+  // read set.
+  constexpr std::uint32_t kRoPromoteAttempts = 2;
+  if (attempts_ >= kRoPromoteAttempts) roPromoted_ = true;
+  abortIsRestart_ = true;
+  backoffWaiver_ = true;
+  throw TxAbort{};
+}
+
+[[noreturn]] void Tx::roPromote() {
+  stats_->onRoPromotion();
+  roPromoted_ = true;
+  abortIsRestart_ = true;
+  backoffWaiver_ = true;
+  throw TxAbort{};
+}
+
+Word Tx::roRead(const Word* addr) {
+  DomainView& v = views_[curView_];
+  // Fast path: if the domain's clock still equals the snapshot, the value
+  // just loaded cannot contain any post-snapshot write-back — a committer
+  // ticks the clock *before* writing back, and the write-back's release
+  // store paired with our acquire fence makes the tick visible with the
+  // data. The read is then consistent at rv with no orec probe at all
+  // (the orec table is 8 MiB of cold lines; the clock is one hot line).
+  if (v.roFast) {
+    const Word fast = atomicLoadWord(addr);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (v.domain->clock().now() == v.rv) {
+      v.roTouched = true;
+      ++pendingReads_;
+      return fast;
+    }
+    // The clock is monotonic and rv is pinned: once it moved, the fast
+    // path cannot succeed again until a free snapshot slide renews it.
+    v.roFast = false;
+  }
+  // The clock moved past the snapshot: validate this read against its orec
+  // (location unchanged since rv => still consistent at rv).
+  std::atomic<OrecWord>* orec = v.domain->orecs().forAddress(addr);
+  for (;;) {
+    SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/false);
+    if (s.version <= v.rv) {
+      // The location has not changed since the snapshot: the value is part
+      // of a consistent state at rv. Nothing is logged.
+      v.roTouched = true;
+      ++pendingReads_;
+      return s.value;
+    }
+    stats_->onRoSnapshotExtension();
+    if (pendingReads_ == 0) {
+      // Nothing read yet anywhere: sliding this view's snapshot forward is
+      // free (the RO analogue of a successful snapshot extension). The
+      // write-back gate must be sampled *after* the clock: a committer
+      // whose tick the new snapshot includes raised its gate before that
+      // tick, so this order either sees the gate or the committer has
+      // finished.
+      v.rv = v.domain->clock().now();
+      v.roFast =
+          v.domain->writebackActive().load(std::memory_order_acquire) == 0;
+      continue;
+    }
+    // Earlier zero-logging reads cannot be revalidated; re-read the clock
+    // on retry and restart the operation body at the fresh snapshot.
+    roRestart();
+  }
+}
+
 Word Tx::read(const Word* addr) {
   assert(active_);
+  if (ro_) {
+    // Read-only mode: no write set to consult (a write would have promoted
+    // the transaction), no read-set logging on the orec backend.
+    if (backend_ == TmBackend::NOrec) return norecRead(addr);
+    return roRead(addr);
+  }
   if ((writeSigs_ & addressSignature(addr)) != 0) {
     if (WriteEntry* we = findWrite(addr)) {
-      stats_->onRead();
+      ++pendingReads_;
       return we->value;
     }
   }
@@ -217,7 +404,7 @@ Word Tx::read(const Word* addr) {
     elasticValidateWindow();
     elasticRecord(orec, s.version);
     if (s.version > v.rv) v.rv = s.version;
-    stats_->onRead();
+    ++pendingReads_;
     return s.value;
   }
 
@@ -230,7 +417,7 @@ Word Tx::read(const Word* addr) {
       continue;
     }
     readSet_.push_back(ReadEntry{orec, s.version});
-    stats_->onRead();
+    ++pendingReads_;
     return s.value;
   }
 }
@@ -239,7 +426,7 @@ Word Tx::uread(const Word* addr) {
   assert(active_);
   if ((writeSigs_ & addressSignature(addr)) != 0) {
     if (WriteEntry* we = findWrite(addr)) {
-      stats_->onUread();
+      ++pendingUreads_;
       return we->value;
     }
   }
@@ -247,12 +434,18 @@ Word Tx::uread(const Word* addr) {
   std::atomic<OrecWord>* orec =
       views_[curView_].domain->orecs().forAddress(addr);
   SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/true);
-  stats_->onUread();
+  ++pendingUreads_;
   return s.value;
 }
 
 void Tx::write(Word* addr, Word value) {
   assert(active_);
+  if (ro_) {
+    // The ReadOnly hint was wrong for this execution: transparently restart
+    // the attempt in read-write mode (zero-logging reads cannot be
+    // retroactively logged, so the body must re-run).
+    roPromote();
+  }
   stats_->onWrite();
   if (elasticPhase_) {
     // First write: the elastic transaction becomes a normal one; the reads
@@ -274,6 +467,13 @@ void Tx::write(Word* addr, Word value) {
   }
   writeSet_.push_back(we);
   writeSigs_ |= addressSignature(addr);
+  if (idxMask_ != 0) {
+    writeIndexInsert(addr, writeSet_.size() - 1);
+    if (we.locked) orecIndexInsert(we.orec, writeSet_.size() - 1);
+    if (4 * writeSet_.size() > idxMask_ + 1) rebuildWriteIndexes();
+  } else if (writeSet_.size() > kWriteIndexThreshold) {
+    rebuildWriteIndexes();
+  }
 }
 
 void Tx::acquireOrecForWrite(WriteEntry& we) {
@@ -283,7 +483,7 @@ void Tx::acquireOrecForWrite(WriteEntry& we) {
     if (orec::isLocked(cur)) {
       if (orec::owner(cur) == this) {
         // Another write entry of ours already owns this orec stripe.
-        WriteEntry* holder = findWriteByOrec(we.orec);
+        WriteEntry* holder = findLockedByOrec(we.orec);
         we.prevVersion = holder ? holder->prevVersion : v.rv;
         we.locked = false;
         return;
@@ -310,7 +510,7 @@ bool Tx::validateEntry(const ReadEntry& e) const {
   OrecWord cur = e.orec->load(std::memory_order_acquire);
   if (orec::isLocked(cur)) {
     if (orec::owner(cur) != this) return false;
-    const WriteEntry* we = const_cast<Tx*>(this)->findWriteByOrec(e.orec);
+    const WriteEntry* we = const_cast<Tx*>(this)->findLockedByOrec(e.orec);
     return we != nullptr && we->prevVersion == e.version;
   }
   return orec::version(cur) == e.version;
@@ -374,6 +574,14 @@ void Tx::releaseHeldLocks(bool restoreOldVersion) {
   }
 }
 
+void Tx::endWritebacks() {
+  for (auto& v : views_) {
+    if (!v.wbActive) continue;
+    v.wbActive = false;
+    v.domain->writebackActive().fetch_sub(1, std::memory_order_release);
+  }
+}
+
 void Tx::releaseNorecSeqLocks() {
   for (auto& v : views_) {
     if (!v.seqLocked) continue;
@@ -404,12 +612,15 @@ void Tx::commit() {
     return;
   }
   if (writeSet_.empty()) {
-    // Read-only: every read was validated against the snapshot (normal) or
-    // hand-over-hand (elastic); nothing to publish. This holds across
-    // domains too: any read that post-dated a cross-domain commit forced an
-    // extension, which revalidated every domain's entries.
+    // Read-only: every read was validated against the snapshot (normal /
+    // zero-logging RO) or hand-over-hand (elastic); nothing to publish.
+    // This holds across domains too: any read that post-dated a
+    // cross-domain commit forced an extension (or an RO restart), which
+    // revalidated every domain's entries.
     speculativeAllocs_.clear();  // committed: caller keeps ownership
+    flushReadStats();
     stats_->onCommit();
+    if (ro_) stats_->onRoCommit();
     active_ = false;
     runTxEndHooks();
     runCommitHooks();
@@ -448,21 +659,19 @@ void Tx::commit() {
         }
       }
     };
-    // One dedup+lock loop serves both orders: earlier-acquired entries on
-    // the same orec stripe donate their prevVersion instead of re-locking.
+    // One dedup+lock loop serves both orders: an earlier-acquired entry on
+    // the same orec stripe (found via the locked-orec lookup — O(1) once
+    // the index is active) donates its prevVersion instead of re-locking.
     const auto acquireInOrder = [&](auto indexAt) {
       for (std::size_t p = 0; p < writeSet_.size(); ++p) {
-        WriteEntry& we = writeSet_[indexAt(p)];
-        bool alreadyHeld = false;
-        for (std::size_t q = 0; q < p; ++q) {
-          const WriteEntry& prior = writeSet_[indexAt(q)];
-          if (prior.orec == we.orec) {
-            we.prevVersion = prior.prevVersion;
-            alreadyHeld = true;
-            break;
-          }
+        const std::size_t pos = indexAt(p);
+        WriteEntry& we = writeSet_[pos];
+        if (const WriteEntry* holder = findLockedByOrec(we.orec)) {
+          we.prevVersion = holder->prevVersion;
+          continue;
         }
-        if (!alreadyHeld) lockEntry(we);
+        lockEntry(we);
+        noteOrecLocked(pos);
       }
     };
     if (singleDomain) {
@@ -480,15 +689,31 @@ void Tx::commit() {
   }
 
   // Per-domain commit timestamps: tick every written domain's clock while
-  // all write locks are held, in the same canonical order.
+  // all write locks are held, in the same canonical order. Each written
+  // domain's write-back gate goes up before its tick (so zero-logging
+  // readers never pair our tick with a half-done write-back) and comes
+  // down after the locks are released.
   if (singleDomain) {
+    views_[0].domain->writebackActive().fetch_add(1,
+                                                  std::memory_order_acq_rel);
+    views_[0].wbActive = true;
     views_[0].wv = views_[0].domain->clock().tick();
     if (views_[0].rv + 1 != views_[0].wv) {
       // Someone committed since our snapshot; the read set must still hold.
       if (!validateReadSet()) abortSelf();
     }
   } else {
-    for (const std::size_t idx : writingViewsInOrder()) {
+    // All write-back gates must be up before the *first* tick: a
+    // zero-logging reader that observes any of our ticks must be able to
+    // see a raised gate on every domain we write, or it could pair the
+    // already-ticked half of this commit with the not-yet-ticked half.
+    const std::vector<std::size_t> order = writingViewsInOrder();
+    for (const std::size_t idx : order) {
+      views_[idx].domain->writebackActive().fetch_add(
+          1, std::memory_order_acq_rel);
+      views_[idx].wbActive = true;
+    }
+    for (const std::size_t idx : order) {
       views_[idx].wv = views_[idx].domain->clock().tick();
     }
     // The single-domain rv+1 == wv shortcut does not compose across
@@ -499,7 +724,9 @@ void Tx::commit() {
     atomicStoreWord(we.addr, we.value);
   }
   releaseHeldLocks(/*restoreOldVersion=*/false);
+  endWritebacks();
   speculativeAllocs_.clear();  // published: ownership transferred
+  flushReadStats();
   stats_->onCommit();
   active_ = false;
   runTxEndHooks();
@@ -520,7 +747,7 @@ Word Tx::norecRead(const Word* addr) {
     DomainView& v = views_[curView_];
     if (v.domain->norecSeq().load(std::memory_order_acquire) == v.rv) {
       valueLog_.push_back(ValueEntry{addr, value, curView_});
-      stats_->onRead();
+      ++pendingReads_;
       return value;
     }
     // A writer committed since our snapshot of this domain: revalidate the
@@ -542,7 +769,7 @@ Word Tx::norecUread(const Word* addr) {
     const Word value = atomicLoadWord(addr);
     std::atomic_thread_fence(std::memory_order_acquire);
     if (seq.load(std::memory_order_relaxed) == s1) {
-      stats_->onUread();
+      ++pendingUreads_;
       return value;
     }
   }
@@ -602,7 +829,9 @@ void Tx::norecCommit() {
     // Read-only transactions are always consistent at their last
     // validation point.
     speculativeAllocs_.clear();
+    flushReadStats();
     stats_->onCommit();
+    if (ro_) stats_->onRoCommit();
     active_ = false;
     runTxEndHooks();
     runCommitHooks();
@@ -649,6 +878,7 @@ void Tx::norecCommit() {
     v.domain->norecSeq().store(v.rv + 2, std::memory_order_release);
   }
   speculativeAllocs_.clear();
+  flushReadStats();
   stats_->onCommit();
   active_ = false;
   runTxEndHooks();
@@ -656,21 +886,22 @@ void Tx::norecCommit() {
 }
 
 void Tx::runTxEndHooks() {
-  // Index loop instead of steal-by-swap so the vector keeps its capacity
-  // across transactions (a guard hook fires on essentially every
-  // transaction). Contract: tx-end hooks are completion signals — they
-  // must not start transactions or register further hooks (onCommit is
-  // the hook point for work that composes).
-  for (std::size_t i = 0; i < txEndHooks_.size(); ++i) txEndHooks_[i]();
+  // Contract: tx-end hooks are completion signals — they must not start
+  // transactions or register further hooks (onCommit is the hook point for
+  // work that composes). HookVec keeps its storage across transactions (a
+  // guard hook fires on essentially every transaction).
+  txEndHooks_.runAll();
   txEndHooks_.clear();
 }
 
 void Tx::runCommitHooks() {
   if (commitHooks_.empty()) return;
-  // Steal the hooks first: a hook may start a new transaction.
-  std::vector<std::function<void()>> hooks;
-  hooks.swap(commitHooks_);
-  for (auto& h : hooks) h();
+  // Steal the hooks first: a hook may start a new transaction, which
+  // clears commitHooks_ in begin(). The steal moves the inline slots, so
+  // the common one-or-two-hook commit still allocates nothing.
+  HookVec hooks(std::move(commitHooks_));
+  commitHooks_.clear();
+  hooks.runAll();
 }
 
 }  // namespace sftree::stm

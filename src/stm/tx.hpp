@@ -17,6 +17,28 @@
 // set bookkeeping; elastic transactions keep a sliding window of the most
 // recent reads instead of the full read set until their first write.
 //
+// --- Read-only mode --------------------------------------------------------
+// TxKind::ReadOnly runs the orec backend with *zero* read-set logging: every
+// read is validated in place against the begin snapshot (sandwiched load,
+// version <= rv), so commit has nothing to validate and nothing to log. A
+// read that observes a newer version cannot extend the snapshot (there is no
+// read set to revalidate), so it re-reads the clock and restarts the
+// operation body at the fresh snapshot — counted as an RO snapshot
+// extension, not an abort, and exempt from backoff. A write inside a
+// ReadOnly transaction (or too many stale restarts in a row) transparently
+// promotes the transaction: the attempt restarts in Normal (read-write)
+// mode, so the hint can never cost correctness. On NOrec, ReadOnly keeps
+// the value log (NOrec cannot validate without it) but skips all write-set
+// machinery.
+//
+// --- Write-set lookup ------------------------------------------------------
+// Read-after-write and locked-orec lookups are gated by a coarse address
+// bloom filter and served by the write set directly while it is small; past
+// kWriteIndexThreshold entries two per-transaction open-addressing tables
+// (address -> entry, locked orec -> holding entry) replace the linear scan,
+// so large transactions (tree rotations, move, vacation) stop paying O(W)
+// per access.
+//
 // --- Clock domains ---------------------------------------------------------
 // A transaction is rooted in one stm::Domain (the argument of atomically)
 // but may *join* further domains mid-flight via DomainScope — this is how a
@@ -34,11 +56,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "stm/clock.hpp"
 #include "stm/config.hpp"
+#include "stm/hooks.hpp"
 #include "stm/orec.hpp"
 #include "stm/stats.hpp"
 #include "stm/word.hpp"
@@ -69,8 +91,21 @@ class alignas(64) Tx {
   void onAbort();
   bool active() const { return active_; }
   TxKind kind() const { return kind_; }
+  // True while this attempt runs in zero-logging read-only mode.
+  bool readOnlyMode() const { return ro_; }
   std::uint32_t attempts() const { return attempts_; }
-  void resetAttempts() { attempts_ = 0; }
+  void resetAttempts() {
+    attempts_ = 0;
+    roPromoted_ = false;  // the RO hint applies afresh to the next operation
+  }
+  // True once, after an abort that was a deliberate restart (RO snapshot
+  // refresh or RO->RW promotion) rather than a conflict: the retry loop
+  // skips contention backoff for it.
+  bool consumeBackoffWaiver() {
+    const bool w = backoffWaiver_;
+    backoffWaiver_ = false;
+    return w;
+  }
 
   // The domain the current attempt was begun in. Precondition: begin() has
   // run at least once.
@@ -109,8 +144,12 @@ class alignas(64) Tx {
   // the attempt aborts (TinySTM's stm_free equivalent: defer side effects —
   // typically retiring an unlinked node — until the unlink is durable).
   // Composes correctly with flat nesting: hooks registered by nested
-  // operations run only when the outermost transaction commits.
-  void onCommit(std::function<void()> hook);
+  // operations run only when the outermost transaction commits. Hooks are
+  // stored inline (no allocation) while their captures fit SmallHook.
+  template <typename F>
+  void onCommit(F&& hook) {
+    commitHooks_.push(std::forward<F>(hook));
+  }
 
   // Registers an action that runs when the current attempt *ends* — after
   // commit or abort, i.e. after the last validation that may re-read
@@ -119,7 +158,10 @@ class alignas(64) Tx {
   // re-reads every logged address; nodes referenced by an already-returned
   // operation must not be freed before that). Re-registered by the
   // operation body on every retry.
-  void onTxEnd(std::function<void()> hook);
+  template <typename F>
+  void onTxEnd(F&& hook) {
+    txEndHooks_.push(std::forward<F>(hook));
+  }
 
   // The root domain's (thread, domain) statistics slot. Precondition:
   // begin() has run at least once.
@@ -133,6 +175,18 @@ class alignas(64) Tx {
     std::uint64_t rv = 0;   // snapshot (read version / NOrec sequence)
     std::uint64_t wv = 0;   // commit timestamp (set during commit)
     bool seqLocked = false;  // NOrec: this view's sequence lock is held
+    // RO mode: at least one zero-logging read was served from this view's
+    // snapshot. Joining a further domain must then verify this domain's
+    // clock has not moved (there is no read set to revalidate).
+    bool roTouched = false;
+    // RO mode: the clock fast path is sound for this view — no committer
+    // was mid-write-back when the snapshot was taken (see
+    // Domain::writebackActive). Falls back to per-read orec validation
+    // otherwise.
+    bool roFast = false;
+    // This transaction holds a +1 on the domain's writebackActive counter
+    // (writing commit in progress); released by endWritebacks().
+    bool wbActive = false;
   };
 
   struct ReadEntry {
@@ -165,8 +219,32 @@ class alignas(64) Tx {
   SampledWord sampleCommitted(const Word* addr, std::atomic<OrecWord>* orec,
                               bool spinOnLock);
 
+  // Write-set lookup. Linear over the (small) write set below
+  // kWriteIndexThreshold entries; served by the open-addressing indexes
+  // above it. findLockedByOrec returns the entry that *holds* the lock on
+  // `orec` (the one carrying the stripe's pre-lock version), or null.
+  static constexpr std::size_t kWriteIndexThreshold = 8;
   WriteEntry* findWrite(const Word* addr);
-  WriteEntry* findWriteByOrec(const std::atomic<OrecWord>* orec);
+  WriteEntry* findLockedByOrec(const std::atomic<OrecWord>* orec);
+
+  // Open-addressing helpers. Both tables store writeSet_ positions + 1 (0 ==
+  // empty slot) and share one capacity, kept at most half full. rebuild
+  // (re)creates both from writeSet_ — on first activation and on growth.
+  void rebuildWriteIndexes();
+  void writeIndexInsert(const Word* addr, std::size_t pos);
+  void orecIndexInsert(const std::atomic<OrecWord>* orec, std::size_t pos);
+  // Records that writeSet_[pos] now holds its orec's lock.
+  void noteOrecLocked(std::size_t pos);
+
+  // --- read-only mode -------------------------------------------------------
+  // Zero-logging transactional read (orec backend).
+  Word roRead(const Word* addr);
+  // Restart of the operation body at a fresh snapshot (or, past
+  // kRoPromoteAttempts, in read-write mode). Not counted as an abort; waives
+  // the retry backoff.
+  [[noreturn]] void roRestart();
+  // Promotes the transaction to read-write mode and restarts the attempt.
+  [[noreturn]] void roPromote();
 
   // Validates every read-set (and elastic-window) entry: each orec is either
   // at the recorded version, or locked by this very transaction having been
@@ -192,8 +270,26 @@ class alignas(64) Tx {
   void acquireOrecForWrite(WriteEntry& we);
   void releaseHeldLocks(bool restoreOldVersion);
   void releaseNorecSeqLocks();
+  // Drops every writebackActive hold this transaction still has (after the
+  // write-back completed, or on abort between tick and write-back).
+  void endWritebacks();
   void runCommitHooks();
   void runTxEndHooks();
+  void flushReadStats() {
+    if (pendingReads_ != 0) {
+      stats_->onReadBatch(pendingReads_);
+      pendingReads_ = 0;
+    }
+    if (pendingUreads_ != 0) {
+      stats_->onUreadBatch(pendingUreads_);
+      pendingUreads_ = 0;
+    }
+    if (pendingWriteLookups_ != 0) {
+      stats_->onWriteLookup(pendingWriteLookups_, pendingWriteProbes_);
+      pendingWriteLookups_ = 0;
+      pendingWriteProbes_ = 0;
+    }
+  }
 
   // --- NOrec backend ---------------------------------------------------------
   Word norecRead(const Word* addr);
@@ -211,6 +307,24 @@ class alignas(64) Tx {
   TxKind kind_ = TxKind::Normal;
   bool active_ = false;
   bool elasticPhase_ = false;  // true while elastic and write-free
+  bool ro_ = false;            // this attempt runs in read-only mode
+  // Sticky across retries of one operation (cleared by resetAttempts): the
+  // RO hint was withdrawn — a write occurred or stale restarts piled up —
+  // and further attempts run in Normal mode.
+  bool roPromoted_ = false;
+  // The abort in flight is a deliberate restart (snapshot refresh or
+  // promotion), not a conflict: skip the abort counter and the backoff.
+  bool abortIsRestart_ = false;
+  bool backoffWaiver_ = false;
+  // Per-attempt read/lookup counters, flushed to the stats slot once at
+  // attempt end (commit or abort) — keeps the atomic-ref pairs off every
+  // read and write-set probe. pendingReads_ doubles as the "has this
+  // attempt read anything yet" test the RO mode's free first-read snapshot
+  // slide relies on.
+  std::uint64_t pendingReads_ = 0;
+  std::uint64_t pendingUreads_ = 0;
+  std::uint64_t pendingWriteLookups_ = 0;
+  std::uint64_t pendingWriteProbes_ = 0;
   std::uint32_t attempts_ = 0;
   Config cfg_{};               // root domain's config, latched at begin()
   TmBackend backend_ = TmBackend::Orec;
@@ -227,9 +341,16 @@ class alignas(64) Tx {
   std::vector<WriteEntry> writeSet_;
   std::vector<ValueEntry> valueLog_;  // NOrec backend only
   std::vector<AllocEntry> speculativeAllocs_;
-  std::vector<std::function<void()>> commitHooks_;
-  std::vector<std::function<void()>> txEndHooks_;
+  HookVec commitHooks_;
+  HookVec txEndHooks_;
   std::uint64_t writeSigs_ = 0;  // bloom signature over write addresses
+
+  // Open-addressing indexes over writeSet_, active once the write set
+  // outgrows kWriteIndexThreshold (idxMask_ == 0 means inactive). Slots
+  // hold position + 1; 0 is empty.
+  std::vector<std::uint32_t> writeIdx_;  // keyed by written address
+  std::vector<std::uint32_t> orecIdx_;   // keyed by locked orec
+  std::size_t idxMask_ = 0;
 
   // Elastic sliding window (size config.elasticWindow, kept tiny).
   std::vector<ReadEntry> window_;

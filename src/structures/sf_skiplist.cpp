@@ -12,7 +12,7 @@ using sftree::Value;
 SFSkipList::SFSkipList(Config cfg)
     : cfg_(cfg),
       domain_(cfg.domain != nullptr ? *cfg.domain : stm::defaultDomain()) {
-  head_ = new Node(std::numeric_limits<Key>::min(), 0, kMaxLevel);
+  head_ = arena_.create(std::numeric_limits<Key>::min(), 0, kMaxLevel);
   if (cfg_.startMaintenance) startMaintenance();
 }
 
@@ -23,7 +23,7 @@ SFSkipList::~SFSkipList() {
   Node* n = head_;
   while (n != nullptr) {
     Node* next = n->next[0].loadRelaxed();
-    delete n;
+    deleteNode(n);
     n = next;
   }
 }
@@ -93,7 +93,7 @@ bool SFSkipList::insertTx(stm::Tx& tx, Key k, Value v) {
     return false;
   }
   const int lvl = randomLevel();
-  Node* fresh = new Node(k, v, lvl);
+  Node* fresh = arena_.create(k, v, lvl);
   tx.onAbortDelete(fresh, &SFSkipList::deleteNode);
   for (int l = 0; l < lvl; ++l) {
     fresh->next[l].storeRelaxed(succs[l]);  // private until publication
@@ -125,10 +125,12 @@ bool SFSkipList::erase(Key k) {
   return stm::atomically(domain_, [&](stm::Tx& tx) { return eraseTx(tx, k); });
 }
 bool SFSkipList::contains(Key k) {
-  return stm::atomically(domain_, [&](stm::Tx& tx) { return containsTx(tx, k); });
+  return stm::atomically(domain_, stm::TxKind::ReadOnly,
+                         [&](stm::Tx& tx) { return containsTx(tx, k); });
 }
 std::optional<Value> SFSkipList::get(Key k) {
-  return stm::atomically(domain_, [&](stm::Tx& tx) { return getTx(tx, k); });
+  return stm::atomically(domain_, stm::TxKind::ReadOnly,
+                         [&](stm::Tx& tx) { return getTx(tx, k); });
 }
 
 // --------------------------------------------------------------------------

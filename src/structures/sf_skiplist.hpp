@@ -20,6 +20,7 @@
 
 #include "gc/limbo_list.hpp"
 #include "gc/thread_registry.hpp"
+#include "mem/arena.hpp"
 #include "stm/stm.hpp"
 #include "trees/key.hpp"
 
@@ -98,8 +99,11 @@ class SFSkipList {
   void maintenanceLoop();
   bool maintenancePass();
 
-  static void deleteNode(void* p) { delete static_cast<Node*>(p); }
+  static void deleteNode(void* p) { mem::NodeArena<Node>::destroy(p); }
 
+  // Declared before the limbo list so retired towers can recycle into it
+  // during destruction.
+  mem::NodeArena<Node> arena_;
   Node* head_;  // sentinel tower of full height, key = min
   std::atomic<std::uint64_t> rngState_{0x853C49E6748FEA9BULL};
   std::atomic<std::uint64_t> unlinks_{0};

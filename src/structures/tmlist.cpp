@@ -11,7 +11,7 @@ TMList::~TMList() {
   ListNode* n = head_.loadRelaxed();
   while (n != nullptr) {
     ListNode* next = n->next.loadRelaxed();
-    delete n;
+    deleteNode(n);
     n = next;
   }
 }
@@ -26,7 +26,7 @@ bool TMList::insertTx(stm::Tx& tx, Key k, Value v) {
     curr = curr->next.read(tx);
   }
   if (curr != nullptr && curr->key == k) return false;
-  ListNode* nn = new ListNode(k, v);
+  ListNode* nn = arena_.create(k, v);
   tx.onAbortDelete(nn, &TMList::deleteNode);
   nn->next.storeRelaxed(curr);
   if (prev == nullptr) {
@@ -126,15 +126,18 @@ bool TMList::erase(Key k) {
 }
 
 bool TMList::contains(Key k) {
-  return stm::atomically(domain_, [&](stm::Tx& tx) { return containsTx(tx, k); });
+  return stm::atomically(domain_, stm::TxKind::ReadOnly,
+                         [&](stm::Tx& tx) { return containsTx(tx, k); });
 }
 
 std::optional<Value> TMList::get(Key k) {
-  return stm::atomically(domain_, [&](stm::Tx& tx) { return getTx(tx, k); });
+  return stm::atomically(domain_, stm::TxKind::ReadOnly,
+                         [&](stm::Tx& tx) { return getTx(tx, k); });
 }
 
 std::size_t TMList::size() {
-  return stm::atomically(domain_, [&](stm::Tx& tx) { return sizeTx(tx); });
+  return stm::atomically(domain_, stm::TxKind::ReadOnly,
+                         [&](stm::Tx& tx) { return sizeTx(tx); });
 }
 
 std::vector<std::pair<Key, Value>> TMList::items() {

@@ -15,6 +15,7 @@
 
 #include "gc/limbo_list.hpp"
 #include "gc/thread_registry.hpp"
+#include "mem/arena.hpp"
 #include "stm/stm.hpp"
 #include "trees/key.hpp"
 
@@ -66,9 +67,12 @@ class TMList {
 
  private:
   void retireNode(ListNode* n);
-  static void deleteNode(void* p) { delete static_cast<ListNode*>(p); }
+  static void deleteNode(void* p) { mem::NodeArena<ListNode>::destroy(p); }
 
   stm::Domain& domain_;
+  // Declared before the limbo list so retired nodes can recycle into it
+  // during destruction.
+  mem::NodeArena<ListNode> arena_;
   stm::TxField<ListNode*> head_{nullptr};
 
   gc::ThreadRegistry registry_;

@@ -19,7 +19,7 @@ AVLTree::~AVLTree() {
     stack.pop();
     if (AVLNode* l = n->left.loadRelaxed()) stack.push(l);
     if (AVLNode* r = n->right.loadRelaxed()) stack.push(r);
-    delete n;
+    deleteNode(n);
   }
 }
 
@@ -74,7 +74,7 @@ AVLNode* AVLTree::rebalance(stm::Tx& tx, AVLNode* n) {
 AVLNode* AVLTree::insertRec(stm::Tx& tx, AVLNode* n, Key k, Value v,
                             bool& inserted) {
   if (n == nullptr) {
-    AVLNode* fresh = new AVLNode(k, v);
+    AVLNode* fresh = arena_.create(k, v);
     tx.onAbortDelete(fresh, &AVLTree::deleteNode);
     inserted = true;
     return fresh;
@@ -200,7 +200,7 @@ bool AVLTree::erase(Key k) {
 bool AVLTree::contains(Key k) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically(domain_, cfg_.txKind,
+  const bool r = stm::atomically(domain_, readTxKind(),
                                  [&](stm::Tx& tx) { return containsTx(tx, k); });
   st.endOp();
   return r;
@@ -209,7 +209,7 @@ bool AVLTree::contains(Key k) {
 std::optional<Value> AVLTree::get(Key k) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const auto r = stm::atomically(domain_, cfg_.txKind,
+  const auto r = stm::atomically(domain_, readTxKind(),
                                  [&](stm::Tx& tx) { return getTx(tx, k); });
   st.endOp();
   return r;
@@ -250,8 +250,11 @@ std::size_t AVLTree::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
 std::size_t AVLTree::countRange(Key lo, Key hi) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
+  // ReadOnly unconditionally — never elastic (countRange promises a
+  // consistent snapshot; see SFTree::countRange).
   const auto r = stm::atomically(
-      domain_, [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+      domain_, stm::TxKind::ReadOnly,
+      [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
 }

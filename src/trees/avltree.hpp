@@ -14,6 +14,7 @@
 
 #include "gc/limbo_list.hpp"
 #include "gc/thread_registry.hpp"
+#include "mem/arena.hpp"
 #include "stm/stm.hpp"
 #include "trees/key.hpp"
 
@@ -82,10 +83,19 @@ class AVLTree {
   AVLNode* detachMin(stm::Tx& tx, AVLNode* n, AVLNode*& minOut);
 
   void retireNode(AVLNode* n);
-  static void deleteNode(void* p) { delete static_cast<AVLNode*>(p); }
+  static void deleteNode(void* p) { mem::NodeArena<AVLNode>::destroy(p); }
+  // Read-only operations run elastic when configured, zero-logging
+  // ReadOnly otherwise.
+  stm::TxKind readTxKind() const {
+    return cfg_.txKind == stm::TxKind::Elastic ? stm::TxKind::Elastic
+                                               : stm::TxKind::ReadOnly;
+  }
 
   AVLTreeConfig cfg_;
   stm::Domain& domain_;
+  // Declared before the limbo list so retired nodes can recycle into it
+  // during destruction.
+  mem::NodeArena<AVLNode> arena_;
   stm::TxField<AVLNode*> root_{nullptr};
 
   gc::ThreadRegistry registry_;

@@ -78,6 +78,11 @@ class SFTreeMap final : public ITransactionalMap {
   std::size_t countRangeTx(stm::Tx& tx, Key lo, Key hi) override {
     return tree_.countRangeTx(tx, lo, hi);
   }
+  // Root the snapshot in the tree's own domain (read-only kind, no
+  // cross-domain join) instead of the interface default.
+  std::size_t countRange(Key lo, Key hi) override {
+    return tree_.countRange(lo, hi);
+  }
 
   // The walks require a quiesced structure: pause the maintenance thread so
   // in-flight rotations cannot hide nodes from the traversal.
@@ -130,6 +135,9 @@ class RBTreeMap final : public ITransactionalMap {
   std::size_t countRangeTx(stm::Tx& tx, Key lo, Key hi) override {
     return tree_.countRangeTx(tx, lo, hi);
   }
+  std::size_t countRange(Key lo, Key hi) override {
+    return tree_.countRange(lo, hi);
+  }
 
   std::size_t size() override { return tree_.size(); }
   int height() override { return tree_.height(); }
@@ -161,6 +169,9 @@ class AVLTreeMap final : public ITransactionalMap {
   }
   std::size_t countRangeTx(stm::Tx& tx, Key lo, Key hi) override {
     return tree_.countRangeTx(tx, lo, hi);
+  }
+  std::size_t countRange(Key lo, Key hi) override {
+    return tree_.countRange(lo, hi);
   }
 
   std::size_t size() override { return tree_.size(); }

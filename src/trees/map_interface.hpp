@@ -44,7 +44,10 @@ class ITransactionalMap {
   // Consistent snapshot semantics: composes with other operations.
   virtual std::size_t countRangeTx(stm::Tx& tx, Key lo, Key hi) = 0;
   virtual std::size_t countRange(Key lo, Key hi) {
+    // ReadOnly hint: zero-logging snapshot reads; a write in an override's
+    // body would transparently promote, so this is always safe.
     return stm::atomically(
+        stm::TxKind::ReadOnly,
         [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   }
   // Transactional size: a snapshot cardinality of the whole set.

@@ -29,7 +29,7 @@ RBTree::~RBTree() {
     stack.pop();
     if (RBNode* l = n->left.loadRelaxed()) stack.push(l);
     if (RBNode* r = n->right.loadRelaxed()) stack.push(r);
-    delete n;
+    deleteNode(n);
   }
 }
 
@@ -136,7 +136,7 @@ bool RBTree::insertTx(stm::Tx& tx, Key k, Value v) {
     y = x;
     x = (k < x->key) ? x->left.read(tx) : x->right.read(tx);
   }
-  RBNode* z = new RBNode(k, v);
+  RBNode* z = arena_.create(k, v);
   tx.onAbortDelete(z, &RBTree::deleteNode);
   z->parent.storeRelaxed(y);
   if (y == nullptr) {
@@ -304,7 +304,7 @@ bool RBTree::erase(Key k) {
 bool RBTree::contains(Key k) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const bool r = stm::atomically(domain_, cfg_.txKind, [&](stm::Tx& tx) {
+  const bool r = stm::atomically(domain_, readTxKind(), [&](stm::Tx& tx) {
     return containsTx(tx, k);
   });
   st.endOp();
@@ -328,7 +328,7 @@ std::optional<Value> RBTree::getTx(stm::Tx& tx, Key k) {
 std::optional<Value> RBTree::get(Key k) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const auto r = stm::atomically(domain_, cfg_.txKind,
+  const auto r = stm::atomically(domain_, readTxKind(),
                                  [&](stm::Tx& tx) { return getTx(tx, k); });
   st.endOp();
   return r;
@@ -369,8 +369,11 @@ std::size_t RBTree::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
 std::size_t RBTree::countRange(Key lo, Key hi) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
+  // ReadOnly unconditionally — never elastic (countRange promises a
+  // consistent snapshot; see SFTree::countRange).
   const auto r = stm::atomically(
-      domain_, [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+      domain_, stm::TxKind::ReadOnly,
+      [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
 }

@@ -19,6 +19,7 @@
 
 #include "gc/limbo_list.hpp"
 #include "gc/thread_registry.hpp"
+#include "mem/arena.hpp"
 #include "stm/stm.hpp"
 #include "trees/key.hpp"
 
@@ -87,10 +88,19 @@ class RBTree {
   void eraseFixup(stm::Tx& tx, RBNode* x, RBNode* xParent);
 
   void retireNode(RBNode* n);
-  static void deleteNode(void* p) { delete static_cast<RBNode*>(p); }
+  static void deleteNode(void* p) { mem::NodeArena<RBNode>::destroy(p); }
+  // Read-only operations run elastic when configured, zero-logging
+  // ReadOnly otherwise.
+  stm::TxKind readTxKind() const {
+    return cfg_.txKind == stm::TxKind::Elastic ? stm::TxKind::Elastic
+                                               : stm::TxKind::ReadOnly;
+  }
 
   RBTreeConfig cfg_;
   stm::Domain& domain_;
+  // Declared before the limbo list so retired nodes can recycle into it
+  // during destruction.
+  mem::NodeArena<RBNode> arena_;
   stm::TxField<RBNode*> root_{nullptr};
 
   gc::ThreadRegistry registry_;

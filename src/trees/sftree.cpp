@@ -25,7 +25,7 @@ constexpr int kMaintenanceDepthLimit = 1 << 20;
 SFTree::SFTree(SFTreeConfig cfg)
     : cfg_(cfg),
       domain_(cfg.domain != nullptr ? *cfg.domain : stm::defaultDomain()) {
-  root_ = new SFNode(kInfiniteKey, 0);
+  root_ = arena_.create(kInfiniteKey, 0);
   if (cfg_.startMaintenance && (cfg_.rotations || cfg_.removals)) {
     startMaintenance();
   }
@@ -43,7 +43,7 @@ SFTree::~SFTree() {
     stack.pop();
     if (SFNode* l = n->left.loadRelaxed()) stack.push(l);
     if (SFNode* r = n->right.loadRelaxed()) stack.push(r);
-    delete n;
+    deleteNode(n);
   }
 }
 
@@ -179,7 +179,7 @@ bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
   }
   // find() transactionally read the null child pointer, so a concurrent
   // insert of the same key is a write-write/read-write conflict here.
-  SFNode* nn = new SFNode(k, v);
+  SFNode* nn = arena_.create(k, v);
   tx.onAbortDelete(nn, &SFTree::deleteNode);
   if (k < curr->key) {
     curr->left.write(tx, nn);
@@ -236,16 +236,33 @@ std::size_t SFTree::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
 std::size_t SFTree::countRange(Key lo, Key hi) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
+  // ReadOnly unconditionally — never elastic: countRange promises a
+  // consistent snapshot of the whole range, and elastic cuts would let a
+  // concurrent composed move be double-counted or missed. The RO mode's
+  // per-read validation preserves full snapshot semantics.
   const auto r = stm::atomically(
-      domain_, [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
+      domain_, stm::TxKind::ReadOnly,
+      [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
 }
 
 // Elastic cuts are only safe for Algorithm 2's updates (see SFTreeConfig).
+// ReadOnly is never an update kind: it would promote on the first write of
+// every attempt.
 stm::TxKind SFTree::updateTxKind() const {
-  if (cfg_.ops == OpsVariant::Optimized) return cfg_.txKind;
+  if (cfg_.ops == OpsVariant::Optimized && cfg_.txKind == stm::TxKind::Elastic) {
+    return stm::TxKind::Elastic;
+  }
   return stm::TxKind::Normal;
+}
+
+// Read-only operations run elastic when configured (hand-over-hand reads),
+// zero-logging ReadOnly otherwise — a write in the body (impossible today)
+// would transparently promote, so the hint is always safe.
+stm::TxKind SFTree::readTxKind() const {
+  if (cfg_.txKind == stm::TxKind::Elastic) return stm::TxKind::Elastic;
+  return stm::TxKind::ReadOnly;
 }
 
 bool SFTree::insert(Key k, Value v) {
@@ -272,7 +289,7 @@ bool SFTree::contains(Key k) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
   const bool r = stm::atomically(
-      domain_, cfg_.txKind, [&](stm::Tx& tx) { return containsTx(tx, k); });
+      domain_, readTxKind(), [&](stm::Tx& tx) { return containsTx(tx, k); });
   st.endOp();
   return r;
 }
@@ -280,7 +297,7 @@ bool SFTree::contains(Key k) {
 std::optional<Value> SFTree::get(Key k) {
   auto& st = stm::threadStats(domain_);
   st.beginOp();
-  const auto r = stm::atomically(domain_, cfg_.txKind,
+  const auto r = stm::atomically(domain_, readTxKind(),
                                  [&](stm::Tx& tx) { return getTx(tx, k); });
   st.endOp();
   return r;
@@ -339,7 +356,7 @@ SFTree::StructuralResult SFTree::rotateRight(stm::Tx& tx, SFNode* parent,
     // copy n' placed under l, so a traversal preempted at n still has a
     // path to the subtree that held its target.
     SFNode* r = n->right.read(tx);
-    SFNode* nn = new SFNode(n->key, n->value.read(tx));
+    SFNode* nn = arena_.create(n->key, n->value.read(tx));
     tx.onAbortDelete(nn, &SFTree::deleteNode);
     nn->deleted.storeRelaxed(n->deleted.read(tx));
     nn->left.storeRelaxed(lr);
@@ -381,7 +398,7 @@ SFTree::StructuralResult SFTree::rotateLeft(stm::Tx& tx, SFNode* parent,
     r->localH = std::max(r->leftH, r->rightH) + 1;
   } else {
     SFNode* l = n->left.read(tx);
-    SFNode* nn = new SFNode(n->key, n->value.read(tx));
+    SFNode* nn = arena_.create(n->key, n->value.read(tx));
     tx.onAbortDelete(nn, &SFTree::deleteNode);
     nn->deleted.storeRelaxed(n->deleted.read(tx));
     nn->left.storeRelaxed(l);

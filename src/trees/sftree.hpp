@@ -30,6 +30,7 @@
 
 #include "gc/limbo_list.hpp"
 #include "gc/thread_registry.hpp"
+#include "mem/arena.hpp"
 #include "stm/stm.hpp"
 #include "trees/key.hpp"
 
@@ -191,6 +192,10 @@ class SFTree {
   // SFTreeConfig::txKind). Public so composed multi-tree operations (e.g.
   // ShardedMap::move) run under the same safety rule as the tree's own.
   stm::TxKind updateTxKind() const;
+  // Transaction kind for read-only operations (contains/get/countRange):
+  // the configured elastic mode, or zero-logging ReadOnly otherwise. Public
+  // for the same composed-operation reason as updateTxKind.
+  stm::TxKind readTxKind() const;
   SFNode* rootForTest() { return root_; }
   gc::ThreadRegistry& registryForTest() { return registry_; }
 
@@ -230,10 +235,14 @@ class SFTree {
                       const std::atomic<bool>* cancel);
   void retireNode(SFNode* n);
 
-  static void deleteNode(void* p) { delete static_cast<SFNode*>(p); }
+  static void deleteNode(void* p) { mem::NodeArena<SFNode>::destroy(p); }
 
   SFTreeConfig cfg_;
   stm::Domain& domain_;
+  // Node storage. Declared before the limbo list so retired nodes can still
+  // recycle into it during destruction; one arena per tree keeps a
+  // per-shard-domain deployment's node memory per domain.
+  mem::NodeArena<SFNode> arena_;
   SFNode* root_;  // sentinel, key == kInfiniteKey, never rotated/removed
 
   gc::ThreadRegistry registry_;
