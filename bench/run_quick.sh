@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
-# Quick-mode read-path benchmark sweep: runs the benches that exercise the
-# read path (stm_micro RO/logged primitives, fig3 read-dominated tree sweep,
-# fig5b write-heavy move composition, table1 reads-per-operation) with short
-# durations and consolidates their --json outputs into one
-# BENCH_readpath.json, so the perf trajectory has comparable data points
-# per commit.
+# Quick-mode benchmark sweep for the perf trajectory:
 #
-#   bench/run_quick.sh [BUILD_DIR] [OUTPUT_JSON]
+#  * read path (stm_micro RO/logged primitives, fig3 read-dominated tree
+#    sweep, fig5b write-heavy move composition, table1 reads-per-operation)
+#    consolidated into BENCH_readpath.json;
+#  * maintenance path (ablation_maintenance --ab-mode: full-sweep vs
+#    targeted violation-queue maintenance, interleaved reps) consolidated
+#    into BENCH_maintpath.json.
 #
-# Defaults: BUILD_DIR=build, OUTPUT_JSON=BENCH_readpath.json (in the
-# current directory). Requires jq for the merge.
+#   bench/run_quick.sh [BUILD_DIR] [READPATH_JSON] [MAINTPATH_JSON]
+#
+# Defaults: BUILD_DIR=build, READPATH_JSON=BENCH_readpath.json,
+# MAINTPATH_JSON=BENCH_maintpath.json (in the current directory). Requires
+# jq for the merge.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_readpath.json}"
+OUT_MAINT="${3:-BENCH_maintpath.json}"
 
 if ! command -v jq >/dev/null; then
   echo "run_quick.sh: jq is required to merge the reports" >&2
@@ -62,3 +66,20 @@ jq -n \
    }' > "$OUT"
 
 echo "consolidated report written to $OUT"
+
+# Maintenance-path A/B: 20%-update steady state, interleaved
+# sweep/targeted reps. The schema checker aggregates per-mode
+# visits-per-update means and guards the targeted-vs-sweep ratio and the
+# committed-baseline trajectory.
+"$BUILD_DIR/ablation_maintenance" --ab-mode --ab-reps=3 --threads=2 \
+  --duration-ms=300 --update=20 --size-log=12 \
+  --json="$TMP/maint_ab.json" >/dev/null
+
+jq -n \
+  --slurpfile ab "$TMP/maint_ab.json" \
+  '{
+     bench: "maintpath",
+     ablation_maintenance_ab: $ab[0]
+   }' > "$OUT_MAINT"
+
+echo "consolidated report written to $OUT_MAINT"

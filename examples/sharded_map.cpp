@@ -82,17 +82,40 @@ int main() {
               static_cast<unsigned long long>(stats.maintenance.removals),
               static_cast<unsigned long long>(stats.maintenance.nodesFreed));
 
+  // Targeted maintenance: updates feed per-shard violation queues and the
+  // workers repair only the affected root-paths; the queue counters show
+  // how much discovery work the full-sweep fallback never had to do.
+  std::printf("violation queues      : %llu captured -> %llu enqueued "
+              "(%llu deduped), %llu drained, mean drain latency %.0f us\n",
+              static_cast<unsigned long long>(stats.maintenance.queue.captured),
+              static_cast<unsigned long long>(stats.maintenance.queue.enqueued),
+              static_cast<unsigned long long>(stats.maintenance.queue.deduped),
+              static_cast<unsigned long long>(stats.maintenance.queue.drained),
+              stats.maintenance.queue.meanDrainLatencyUs());
+  std::printf("maintenance passes    : %llu (%llu full sweeps), %llu nodes "
+              "visited\n",
+              static_cast<unsigned long long>(stats.maintenance.traversals),
+              static_cast<unsigned long long>(stats.maintenance.fullSweeps),
+              static_cast<unsigned long long>(stats.maintenance.nodesVisited));
+  std::printf("per-shard queue depth :");
+  for (const auto d : stats.shardQueueDepths) {
+    std::printf(" %llu", static_cast<unsigned long long>(d));
+  }
+  std::printf(" (post-quiesce: all drained)\n");
+
   const auto sched = scheduler.stats();
   std::printf("scheduler             : %llu passes (%llu active), %llu "
-              "backoff skips, %llu signal wakeups\n",
+              "backoff skips, %llu signal wakeups, %llu priority picks\n",
               static_cast<unsigned long long>(sched.passes),
               static_cast<unsigned long long>(sched.activePasses),
               static_cast<unsigned long long>(sched.backoffSkips),
-              static_cast<unsigned long long>(sched.signalWakeups));
+              static_cast<unsigned long long>(sched.signalWakeups),
+              static_cast<unsigned long long>(sched.priorityPicks));
   for (const auto& t : scheduler.treeStats()) {
-    std::printf("  %-8s passes=%llu active=%llu\n", t.name.c_str(),
+    std::printf("  %-8s passes=%llu active=%llu queued=%llu\n", t.name.c_str(),
                 static_cast<unsigned long long>(t.passes),
-                static_cast<unsigned long long>(t.activePasses));
+                static_cast<unsigned long long>(t.activePasses),
+                static_cast<unsigned long long>(t.lastLoad));
   }
 
   // Per-clock-domain STM statistics: each shard owns a domain, so the

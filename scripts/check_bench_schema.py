@@ -1,10 +1,23 @@
 #!/usr/bin/env python3
-"""Schema guard for the consolidated read-path benchmark report.
+"""Schema + regression guard for the consolidated benchmark reports.
 
-CI runs bench/run_quick.sh and then this checker over BENCH_readpath.json.
-The trajectory tooling keys on these fields; a bench refactor that renames
-or drops one silently breaks the perf history, so drift fails the build.
+CI runs bench/run_quick.sh and then this checker over the reports it
+produced. The trajectory tooling keys on these fields; a bench refactor that
+renames or drops one silently breaks the perf history, so drift fails the
+build. Dispatch is on the top-level "bench" tag:
+
+  * readpath  — field-presence checks only (BENCH_readpath.json).
+  * maintpath — field-presence checks, the targeted-vs-sweep acceptance
+    gates (targeted maintenance must do >= 1.5x less maintenance work per
+    committed update than full sweeps, with final height within 1.5x), and,
+    with --baseline <committed BENCH_maintpath.json>, a trajectory guard
+    that fails when targeted maintenance work per committed update regresses
+    by more than 20% against the committed baseline. Work per committed
+    update (nodes visited by maintenance / committed updates) is the
+    deterministic proxy for maintenance CPU per update — wall-clock CPU on
+    shared CI runners is too noisy to gate on.
 """
+import argparse
 import json
 import sys
 
@@ -28,15 +41,9 @@ def check_repo_report(report, name, result_keys):
         require(rec, result_keys, f"{name}.results[{i}]")
 
 
-def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_readpath.json"
-    with open(path) as f:
-        top = json.load(f)
-
-    require(top, ["bench", "fig3_microbench", "fig5b_move", "table1_reads",
+def check_readpath(top) -> None:
+    require(top, ["fig3_microbench", "fig5b_move", "table1_reads",
                   "stm_micro"], "top level")
-    if top["bench"] != "readpath":
-        fail("top-level bench tag must be 'readpath'")
 
     check_repo_report(top["fig3_microbench"], "fig3_microbench",
                       ["tree", "update_percent", "threads", "ops_per_us",
@@ -60,7 +67,100 @@ def main() -> None:
             if not any(n.startswith(expected) for n in names):
                 fail(f"stm_micro is missing benchmark '{expected}'")
 
-    print(f"check_bench_schema: {path} OK")
+
+MAINT_RECORD_KEYS = [
+    "mode", "rep", "ops_per_us", "final_height", "committed_updates",
+    "maint_nodes_visited", "visits_per_update", "maint_passes",
+    "full_sweeps", "rotations", "removals", "queue_captured",
+    "queue_enqueued", "queue_deduped", "queue_drained",
+    "mean_drain_latency_us", "abort_ratio",
+]
+
+
+def mode_means(report):
+    """Per-mode means of the guarded metrics over the interleaved reps."""
+    out = {}
+    for mode in ("sweep", "targeted"):
+        recs = [r for r in report["results"] if r["mode"] == mode]
+        if not recs:
+            fail(f"maintpath A/B has no '{mode}' records")
+        out[mode] = {
+            "visits_per_update":
+                sum(r["visits_per_update"] for r in recs) / len(recs),
+            "final_height": sum(r["final_height"] for r in recs) / len(recs),
+            "ops_per_us": sum(r["ops_per_us"] for r in recs) / len(recs),
+        }
+    return out
+
+
+def check_maintpath(top, baseline_path) -> None:
+    require(top, ["ablation_maintenance_ab"], "top level")
+    ab = top["ablation_maintenance_ab"]
+    check_repo_report(ab, "ablation_maintenance_ab", MAINT_RECORD_KEYS)
+
+    means = mode_means(ab)
+    sweep, targeted = means["sweep"], means["targeted"]
+    print(f"check_bench_schema: maintpath means — "
+          f"sweep {sweep['visits_per_update']:.1f} visits/update "
+          f"h={sweep['final_height']:.1f} {sweep['ops_per_us']:.2f} ops/us | "
+          f"targeted {targeted['visits_per_update']:.1f} visits/update "
+          f"h={targeted['final_height']:.1f} "
+          f"{targeted['ops_per_us']:.2f} ops/us")
+
+    # Acceptance gate: targeted maintenance must cut the work per committed
+    # update by at least 1.5x ...
+    if targeted["visits_per_update"] > 0 and \
+            sweep["visits_per_update"] / targeted["visits_per_update"] < 1.5:
+        fail("targeted maintenance saves < 1.5x maintenance work per "
+             f"committed update (sweep {sweep['visits_per_update']:.1f} vs "
+             f"targeted {targeted['visits_per_update']:.1f})")
+    # ... without letting the tree degrade (final height within 1.5x of the
+    # full-sweep baseline; +1 absorbs integer-height jitter on small trees).
+    if targeted["final_height"] > 1.5 * sweep["final_height"] + 1:
+        fail("targeted maintenance final height "
+             f"{targeted['final_height']:.1f} exceeds 1.5x the sweep "
+             f"baseline {sweep['final_height']:.1f}")
+
+    if baseline_path:
+        try:
+            with open(baseline_path) as f:
+                base = json.load(f)
+        except FileNotFoundError:
+            fail(f"baseline '{baseline_path}' not found — the committed "
+                 "BENCH_maintpath.json must be checked in (git add -f; it "
+                 "matches the BENCH_*.json gitignore pattern)")
+        require(base, ["ablation_maintenance_ab"], "baseline top level")
+        base_means = mode_means(base["ablation_maintenance_ab"])
+        base_vpu = base_means["targeted"]["visits_per_update"]
+        new_vpu = targeted["visits_per_update"]
+        if base_vpu > 0 and new_vpu > 1.2 * base_vpu:
+            fail("maintenance work per committed update regressed > 20% vs "
+                 f"the committed baseline ({new_vpu:.1f} vs {base_vpu:.1f} "
+                 "visits/update)")
+        print(f"check_bench_schema: trajectory OK "
+              f"({new_vpu:.1f} vs baseline {base_vpu:.1f} visits/update)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("report", nargs="?", default="BENCH_readpath.json")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_maintpath.json to guard the "
+                             "work-per-update trajectory against")
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        top = json.load(f)
+
+    require(top, ["bench"], "top level")
+    if top["bench"] == "readpath":
+        check_readpath(top)
+    elif top["bench"] == "maintpath":
+        check_maintpath(top, args.baseline)
+    else:
+        fail(f"unknown top-level bench tag '{top['bench']}'")
+
+    print(f"check_bench_schema: {args.report} OK")
 
 
 if __name__ == "__main__":

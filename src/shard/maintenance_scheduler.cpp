@@ -24,11 +24,12 @@ MaintenanceScheduler::~MaintenanceScheduler() {
 }
 
 MaintenanceScheduler::TreeHandle MaintenanceScheduler::registerTree(
-    std::string name, PassFn pass, WorkSignalFn signal) {
+    std::string name, PassFn pass, WorkSignalFn signal, LoadFn load) {
   auto entry = std::make_shared<Entry>();
   entry->name = std::move(name);
   entry->pass = std::move(pass);
   entry->signal = std::move(signal);
+  entry->load = std::move(load);
   entry->nextEligible = Clock::now();
   if (entry->signal) entry->lastSignal = entry->signal();
   std::lock_guard<std::mutex> lk(mu_);
@@ -96,7 +97,8 @@ std::vector<TreeMaintStats> MaintenanceScheduler::treeStats() const {
   std::vector<TreeMaintStats> out;
   out.reserve(entries_.size());
   for (const auto& e : entries_) {
-    out.push_back({e->name, e->passes, e->activePasses, e->idleStreak});
+    out.push_back(
+        {e->name, e->passes, e->activePasses, e->idleStreak, e->lastLoad});
   }
   return out;
 }
@@ -113,6 +115,18 @@ MaintenanceScheduler::pickRunnable(Clock::time_point now,
   earliest = Clock::time_point::max();
   signalPollNeeded = false;
   const std::size_t n = entries_.size();
+  // The scan considers every entry so eligible trees can compete on load;
+  // the first eligible entry in cursor order is the round-robin default,
+  // overtaken only by a *strictly* higher load. A sustained hot shard can
+  // stay eligible (its queue refills during its own drain, and its work
+  // signal bypasses the backoff), so overtakes are capped: after
+  // maxPriorityStreak consecutive overrides the round-robin head runs
+  // regardless, which bounds every eligible tree's wait.
+  std::shared_ptr<Entry> best;
+  std::shared_ptr<Entry> firstEligible;
+  std::size_t bestIdx = 0;
+  std::size_t firstIdx = 0;
+  std::uint64_t bestLoad = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t idx = (cursor_ + i) % n;
     const auto& e = entries_[idx];
@@ -128,15 +142,43 @@ MaintenanceScheduler::pickRunnable(Clock::time_point now,
         ++stats_.signalWakeups;
       }
     }
-    if (eligible) {
-      cursor_ = (idx + 1) % n;
-      return e;
+    if (!eligible) {
+      ++stats_.backoffSkips;
+      if (e->signal) signalPollNeeded = true;
+      earliest = std::min(earliest, e->nextEligible);
+      continue;
     }
-    ++stats_.backoffSkips;
-    if (e->signal) signalPollNeeded = true;
-    earliest = std::min(earliest, e->nextEligible);
+    const std::uint64_t load = e->load ? e->load() : 0;
+    e->lastLoad = load;
+    if (best == nullptr) {
+      best = e;
+      firstEligible = e;
+      bestIdx = idx;
+      firstIdx = idx;
+      bestLoad = load;
+    } else if (load > bestLoad) {
+      best = e;
+      bestIdx = idx;
+      bestLoad = load;
+    }
   }
-  return nullptr;
+  if (best != nullptr) {
+    if (best != firstEligible) {
+      if (++priorityStreak_ > cfg_.maxPriorityStreak) {
+        // Anti-starvation: the round-robin head has been overtaken for a
+        // full streak; run it now.
+        best = firstEligible;
+        bestIdx = firstIdx;
+        priorityStreak_ = 0;
+      } else {
+        ++stats_.priorityPicks;
+      }
+    } else {
+      priorityStreak_ = 0;
+    }
+    cursor_ = (bestIdx + 1) % n;
+  }
+  return best;
 }
 
 void MaintenanceScheduler::workerLoop() {

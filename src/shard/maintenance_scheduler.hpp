@@ -14,7 +14,13 @@
 //    before it is polled again, so idle trees cost (almost) nothing;
 //  * work signal — each tree may expose a monotonic update counter; any
 //    observed change resets its backoff, so a tree that turns hot is picked
-//    up on the next scan instead of after the full backoff window.
+//    up on the next scan instead of after the full backoff window;
+//  * load-driven priority — each tree may additionally expose its pending
+//    work (SFTree's violation-queue depth); among the trees eligible at a
+//    scan, workers run the one with the most queued work first instead of
+//    blind round-robin, so a burst against one shard is drained before the
+//    pool cycles through cold shards. Trees reporting equal (or no) load
+//    keep the round-robin order, which keeps the pick starvation-free.
 //
 // The scheduler is deliberately tree-agnostic (callbacks only): trees,
 // sharded maps and the vacation manager all register through the same
@@ -45,6 +51,12 @@ struct MaintenanceSchedulerConfig {
   // Pause before re-polling a tree whose last pass did structural work
   // (0 = continuous, like the paper's dedicated rotator).
   std::chrono::microseconds hotPause{0};
+  // Consecutive scans in which a higher-load tree may overtake the
+  // round-robin head before the head is forced to run anyway. A sustained
+  // hot shard refills its queue during its own drain, so pure max-load
+  // picking could starve a lower-but-nonzero-load shard indefinitely; the
+  // cap bounds any eligible tree's wait to this many scans.
+  int maxPriorityStreak = 8;
 };
 
 // Aggregate counters over the scheduler's lifetime.
@@ -53,6 +65,9 @@ struct SchedulerStats {
   std::uint64_t activePasses = 0;  // passes that performed structural work
   std::uint64_t backoffSkips = 0;  // scan visits skipped due to backoff
   std::uint64_t signalWakeups = 0; // backoffs cut short by a work signal
+  // Picks where a higher-load tree overtook an earlier-in-rotation eligible
+  // tree (the load callback steering workers toward the hottest shard).
+  std::uint64_t priorityPicks = 0;
 };
 
 // Per-tree view of the same counters.
@@ -61,6 +76,7 @@ struct TreeMaintStats {
   std::uint64_t passes = 0;
   std::uint64_t activePasses = 0;
   int idleStreak = 0;  // consecutive idle passes (drives the backoff)
+  std::uint64_t lastLoad = 0;  // load reported at the most recent scan
 };
 
 class MaintenanceScheduler {
@@ -72,6 +88,10 @@ class MaintenanceScheduler {
   // Optional monotonic activity counter (e.g. SFTree::updateTicks). Any
   // change between polls resets the tree's backoff.
   using WorkSignalFn = std::function<std::uint64_t()>;
+  // Optional pending-work gauge (e.g. SFTree::violationQueueDepth). Among
+  // simultaneously eligible trees, the one reporting the highest load runs
+  // first; zero/absent loads fall back to round-robin order.
+  using LoadFn = std::function<std::uint64_t()>;
 
   using TreeHandle = std::uint64_t;
   static constexpr TreeHandle kInvalidHandle = 0;
@@ -85,7 +105,8 @@ class MaintenanceScheduler {
   // Registers a tree; maintenance passes start being scheduled immediately.
   // The callbacks must stay valid until unregisterTree() returns.
   TreeHandle registerTree(std::string name, PassFn pass,
-                          WorkSignalFn signal = nullptr);
+                          WorkSignalFn signal = nullptr,
+                          LoadFn load = nullptr);
 
   // Removes the tree. Blocks until any in-flight pass on it has finished,
   // so the caller may destroy the tree as soon as this returns.
@@ -116,12 +137,14 @@ class MaintenanceScheduler {
     std::string name;
     PassFn pass;
     WorkSignalFn signal;
+    LoadFn load;
 
     int pauseDepth = 0;  // paused while > 0 (pauses nest)
     bool dead = false;
     bool inPass = false;
     Clock::time_point nextEligible{};  // epoch start: eligible immediately
     std::uint64_t lastSignal = 0;
+    std::uint64_t lastLoad = 0;
     int idleStreak = 0;
 
     std::uint64_t passes = 0;
@@ -129,12 +152,15 @@ class MaintenanceScheduler {
   };
 
   void workerLoop();
-  // Picks the next runnable entry at or after cursor_ (mu_ held). Returns
-  // nullptr when nothing is eligible and sets `earliest` to the soonest
-  // backoff expiry among the skipped entries (Clock::time_point::max() when
-  // there is none). `signalPollNeeded` reports whether any skipped entry
-  // has a work-signal callback, i.e. whether sleeping past `earliest` could
-  // miss a wakeup only a poll would notice.
+  // Picks the next runnable entry (mu_ held): among the eligible entries,
+  // the one reporting the highest load, with round-robin order from
+  // cursor_ as the tiebreak (and the sole rule when no entry reports
+  // load). Returns nullptr when nothing is eligible and sets `earliest` to
+  // the soonest backoff expiry among the skipped entries
+  // (Clock::time_point::max() when there is none). `signalPollNeeded`
+  // reports whether any skipped entry has a work-signal callback, i.e.
+  // whether sleeping past `earliest` could miss a wakeup only a poll would
+  // notice.
   std::shared_ptr<Entry> pickRunnable(Clock::time_point now,
                                       Clock::time_point& earliest,
                                       bool& signalPollNeeded);
@@ -146,6 +172,9 @@ class MaintenanceScheduler {
   std::condition_variable cv_;
   std::vector<std::shared_ptr<Entry>> entries_;
   std::size_t cursor_ = 0;  // round-robin start position for the next scan
+  // Consecutive picks in which load overrode the round-robin head; at
+  // cfg_.maxPriorityStreak the head runs regardless (anti-starvation).
+  int priorityStreak_ = 0;
   TreeHandle nextHandle_ = 1;
   SchedulerStats stats_;
 

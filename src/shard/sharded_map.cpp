@@ -60,7 +60,10 @@ ShardedMap::ShardedMap(ShardedMapConfig cfg) : cfg_(std::move(cfg)) {
           [tree](const std::atomic<bool>* cancel) {
             return tree->runMaintenancePass(cancel);
           },
-          [tree] { return tree->updateTicks(); }));
+          [tree] { return tree->updateTicks(); },
+          // Pending violation-queue entries: workers drain the hottest
+          // shard first instead of blind round-robin.
+          [tree] { return tree->violationQueueDepth(); }));
     }
   }
 }
@@ -138,11 +141,15 @@ bool ShardedMap::move(Key from, Key to) {
         if (shards_[dst]->containsTx(tx, to)) return false;
         const std::optional<Value> v = shards_[src]->getTx(tx, from);
         if (!v) return false;
-        shards_[src]->eraseTx(tx, from);
+        if (!shards_[src]->eraseTx(tx, from)) {
+          // Same subtleties as SFTree::move: under elastic reads a
+          // concurrent erase of `from` can slip past the getTx above —
+          // inserting `to` without having erased would conjure a key.
+          tx.restart();
+        }
         if (!shards_[dst]->insertTx(tx, to, *v)) {
-          // Same subtlety as SFTree::move: under elastic reads a concurrent
-          // insert of `to` can slip past the earlier contains; retry rather
-          // than lose the moved key.
+          // ... and a concurrent insert of `to` can slip past the earlier
+          // contains; retry rather than lose the moved key.
           tx.restart();
         }
         return true;
@@ -254,17 +261,28 @@ ShardedMapStats ShardedMap::aggregatedStats() const {
   }
   for (const auto& d : out.domainStats) out.stm += d;
   out.shardSizeEstimates.reserve(shards_.size());
+  out.shardQueueDepths.reserve(shards_.size());
   for (const auto& s : shards_) {
     const auto est = s->sizeEstimate();
     out.sizeEstimate += est;
     out.shardSizeEstimates.push_back(est);
+    out.shardQueueDepths.push_back(s->violationQueueDepth());
     const auto m = s->maintenanceStats();
     out.maintenance.traversals += m.traversals;
+    out.maintenance.fullSweeps += m.fullSweeps;
     out.maintenance.rotations += m.rotations;
     out.maintenance.removals += m.removals;
     out.maintenance.failedStructuralOps += m.failedStructuralOps;
     out.maintenance.nodesFreed += m.nodesFreed;
     out.maintenance.nodesRetired += m.nodesRetired;
+    out.maintenance.nodesVisited += m.nodesVisited;
+    out.maintenance.queue.captured += m.queue.captured;
+    out.maintenance.queue.enqueued += m.queue.enqueued;
+    out.maintenance.queue.deduped += m.queue.deduped;
+    out.maintenance.queue.drained += m.queue.drained;
+    out.maintenance.queue.dropped += m.queue.dropped;
+    out.maintenance.queue.overflows += m.queue.overflows;
+    out.maintenance.queue.drainLatencyUsSum += m.queue.drainLatencyUsSum;
   }
   return out;
 }

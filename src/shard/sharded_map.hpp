@@ -66,6 +66,10 @@ struct ShardedMapStats {
   std::int64_t sizeEstimate = 0;
   std::vector<std::int64_t> shardSizeEstimates;
   trees::MaintenanceStats maintenance;  // summed over shards
+  // Per-shard violation-queue occupancy (racy snapshots): the load the
+  // scheduler prioritizes on, exposed for dashboards/tests. The summed
+  // queue counters (enqueued/drained/latency) are in maintenance.queue.
+  std::vector<std::uint64_t> shardQueueDepths;
   // STM statistics per clock domain: one entry per shard in PerShard mode,
   // a single entry for the shared domain otherwise. Snapshots are exact
   // only while no transactions are in flight.

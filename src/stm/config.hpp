@@ -46,6 +46,19 @@ struct Config {
   // Elastic window: number of most recent reads that must stay valid.
   // The E-STM paper uses pairs of hand-over-hand reads.
   std::uint32_t elasticWindow = 2;
+  // NOrec read-only batching: a zero-write-set ReadOnly transaction on the
+  // NOrec backend checks the sequence locks once every this many *scalar*
+  // (non-pointer) reads — plus at commit and at every domain join —
+  // instead of per read. Values read between checks are still logged, so
+  // the value-based revalidation at the next batch boundary catches
+  // anything a concurrent writer published in between; large read-only
+  // scans (countRange) then pay the seqlock cache line once per batch for
+  // their flag/value reads. Pointer reads always validate per read: a
+  // traversal must never dereference an unvalidated pointer, or it could
+  // wander into memory the quiescence GC legitimately reclaimed (TxField
+  // routes field types accordingly). 1 restores per-read validation
+  // everywhere.
+  std::uint32_t norecRoBatch = 32;
   // Contention management: bounded randomized exponential backoff.
   std::uint32_t backoffMinSpins = 32;
   std::uint32_t backoffMaxSpins = 1 << 14;

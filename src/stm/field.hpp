@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <type_traits>
 
 #include "stm/tx.hpp"
 #include "stm/word.hpp"
@@ -23,8 +24,16 @@ class TxField {
   TxField& operator=(const TxField&) = delete;
 
   // Transactional read (recorded in the read set / elastic window).
+  // Non-pointer fields route through readScalar, which batched NOrec
+  // read-only transactions may validate lazily; pointer fields always take
+  // the per-read-validated path so a traversal never dereferences an
+  // unvalidated pointer (see Tx::readScalar).
   T read(Tx& tx) const {
-    return RawCodec<T>::decode(tx.read(&raw_));
+    if constexpr (std::is_pointer_v<T>) {
+      return RawCodec<T>::decode(tx.read(&raw_));
+    } else {
+      return RawCodec<T>::decode(tx.readScalar(&raw_));
+    }
   }
 
   // Transactional write (buffered until commit).
@@ -35,6 +44,13 @@ class TxField {
   // Unit load: latest committed value, no read-set entry (paper's uread).
   T uread(Tx& tx) const {
     return RawCodec<T>::decode(tx.uread(&raw_));
+  }
+
+  // Transactional read pinned into the permanent read set even during an
+  // elastic transaction's window phase (see Tx::readPinned): for position
+  // reads an update's correctness depends on.
+  T readPinned(Tx& tx) const {
+    return RawCodec<T>::decode(tx.readPinned(&raw_));
   }
 
   // Latest value outside any transaction. Single-word atomic; may observe a

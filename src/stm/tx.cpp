@@ -74,6 +74,7 @@ void Tx::begin(Domain& d, TxKind kind, ThreadStats& stats) {
   ro_ = (kind == TxKind::ReadOnly) && !roPromoted_;
   pendingReads_ = 0;
   pendingUreads_ = 0;
+  norecRoPending_ = 0;
   abortIsRestart_ = false;
   views_.clear();
   views_.push_back(DomainView{&d});
@@ -422,6 +423,24 @@ Word Tx::read(const Word* addr) {
   }
 }
 
+Word Tx::readPinned(const Word* addr) {
+  assert(active_);
+  if (!elasticPhase_) return read(addr);
+  // Elastic window phase. There is no write set yet (the first write ends
+  // the phase), so go straight to a hand-over-hand sample — but record the
+  // entry in the permanent read set instead of the sliding window, so no
+  // later cut can evict it before the first write folds the window in.
+  if (backend_ == TmBackend::NOrec) return norecRead(addr);
+  DomainView& v = views_[curView_];
+  std::atomic<OrecWord>* orec = v.domain->orecs().forAddress(addr);
+  SampledWord s = sampleCommitted(addr, orec, /*spinOnLock=*/false);
+  elasticValidateWindow();
+  readSet_.push_back(ReadEntry{orec, s.version});
+  if (s.version > v.rv) v.rv = s.version;
+  ++pendingReads_;
+  return s.value;
+}
+
 Word Tx::uread(const Word* addr) {
   assert(active_);
   if ((writeSigs_ & addressSignature(addr)) != 0) {
@@ -553,6 +572,13 @@ void Tx::elasticRecord(std::atomic<OrecWord>* orec, std::uint64_t version) {
 
 void Tx::elasticValidateWindow() {
   for (const ReadEntry& e : window_) {
+    if (!validateEntry(e)) abortSelf();
+  }
+  // Pinned reads (readPinned) sit in the permanent read set even during the
+  // window phase. They join every hand-over-hand validation so the elastic
+  // rv slide — and the rv+1 == wv commit shortcut built on it — can never
+  // outrun them.
+  for (const ReadEntry& e : readSet_) {
     if (!validateEntry(e)) abortSelf();
   }
 }
@@ -740,6 +766,41 @@ void Tx::commit() {
 // all. Cross-domain commits take every written domain's sequence lock in
 // canonical order before writing back.
 
+// Batched RO validation for *scalar* reads: log the value optimistically
+// and check the sequence locks only once every norecRoBatch reads (plus at
+// every domain join and at commit) instead of per read. A value observed
+// while a writer is mid-publish is caught by the value-based revalidation
+// at the next batch boundary, and no read escapes the transaction without
+// a validation point after it (norecCommit flushes the tail) — the
+// committed snapshot is exactly as consistent as with per-read checks.
+// Between boundaries the body may branch on a transiently stale scalar,
+// which only wastes bounded work until the next boundary aborts the
+// attempt.
+//
+// Pointer-bearing reads must NOT take this path: a traversal that
+// dereferences an unvalidated pointer can wander into a node that
+// quiescence reclamation legitimately freed and recycled — only the
+// per-read check ties the reader's pointer chain to a consistent instant
+// at which every node in it is still in its grace period. TxField routes
+// non-pointer fields here and pointer fields to the validated read.
+Word Tx::norecReadScalar(const Word* addr) {
+  if (!(ro_ && cfg_.norecRoBatch > 1)) return norecRead(addr);
+  const Word value = std::atomic_ref<Word>(*const_cast<Word*>(addr))
+                         .load(std::memory_order_acquire);
+  valueLog_.push_back(ValueEntry{addr, value, curView_});
+  ++pendingReads_;
+  if (++norecRoPending_ >= cfg_.norecRoBatch) norecRoFlushValidation();
+  return value;
+}
+
+Word Tx::readScalar(const Word* addr) {
+  assert(active_);
+  if (ro_ && backend_ == TmBackend::NOrec && writeSet_.empty()) {
+    return norecReadScalar(addr);
+  }
+  return read(addr);
+}
+
 Word Tx::norecRead(const Word* addr) {
   for (;;) {
     const Word value = atomicLoadWord(addr);
@@ -771,6 +832,20 @@ Word Tx::norecUread(const Word* addr) {
     if (seq.load(std::memory_order_relaxed) == s1) {
       ++pendingUreads_;
       return value;
+    }
+  }
+}
+
+void Tx::norecRoFlushValidation() {
+  norecRoPending_ = 0;
+  for (const DomainView& v : views_) {
+    if (v.domain->norecSeq().load(std::memory_order_acquire) != v.rv) {
+      // A writer committed somewhere since the snapshot: fall back to the
+      // full value-based revalidation (aborts on mismatch, else refreshes
+      // every view's snapshot — the RO analogue of a snapshot extension).
+      stats_->onRoSnapshotExtension();
+      norecValidate();
+      return;
     }
   }
 }
@@ -820,6 +895,7 @@ void Tx::norecValidate() {
     for (std::size_t i = 0; i < views_.size(); ++i) {
       if (!views_[i].seqLocked) views_[i].rv = seqSnap_[i];
     }
+    norecRoPending_ = 0;  // everything logged was just revalidated
     return;
   }
 }
@@ -827,7 +903,9 @@ void Tx::norecValidate() {
 void Tx::norecCommit() {
   if (writeSet_.empty()) {
     // Read-only transactions are always consistent at their last
-    // validation point.
+    // validation point. Batched RO reads past that point are flushed here,
+    // so the commit itself is the final validation point.
+    if (ro_ && norecRoPending_ != 0) norecRoFlushValidation();
     speculativeAllocs_.clear();
     flushReadStats();
     stats_->onCommit();

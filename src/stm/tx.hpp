@@ -124,12 +124,41 @@ class alignas(64) Tx {
   // --- speculative accesses -------------------------------------------------
   // Transactional read: recorded and validated; opacity preserved.
   Word read(const Word* addr);
+  // Transactional read of a value the caller will never dereference.
+  // Identical to read() except that a zero-write-set ReadOnly transaction
+  // on the NOrec backend may defer its sequence-lock check to the next
+  // batch boundary (Config::norecRoBatch) — safe only because a stale
+  // scalar can at worst steer bounded wasted work, unlike a stale pointer,
+  // which could be chased into reclaimed memory. TxField selects this
+  // overload for non-pointer field types.
+  Word readScalar(const Word* addr);
   // Transactional write (buffered).
   void write(Word* addr, Word value);
   // Unit load: latest committed value, no read-set entry (TinySTM unit
   // loads; the paper's `uread`). Spins while the location is being
   // committed by another transaction.
   Word uread(const Word* addr);
+  // Transactional read recorded in the *permanent* read set even while an
+  // elastic transaction is still in its window phase. Elastic cuts must
+  // never evict the position reads an update's correctness hangs on (a
+  // node's removed flag, the null child an insert links into, the parent
+  // link find() validated): pin those, leave traversal reads cuttable.
+  // Identical to read() outside the elastic window phase.
+  Word readPinned(const Word* addr);
+  // Pin bookkeeping for speculative position pins. A traversal pins the
+  // reads of each candidate position as it examines it; when the candidate
+  // is abandoned (its parent link failed validation, a child appeared), the
+  // abandoned pins are demoted back to cut reads with dropPinsAfter —
+  // otherwise a churning search region grows the pin set without bound and
+  // every hand-over-hand validation over it turns quadratic. Dropping is
+  // sound for exactly the reason elastic cuts are: an abandoned candidate's
+  // values only steered the traversal, and the position finally returned
+  // carries its own still-pinned reads. Both are no-ops outside the elastic
+  // window phase (in read-write mode the read set must never shrink).
+  std::size_t pinMark() const { return elasticPhase_ ? readSet_.size() : 0; }
+  void dropPinsAfter(std::size_t mark) {
+    if (elasticPhase_ && readSet_.size() > mark) readSet_.resize(mark);
+  }
 
   // Aborts the current speculation and retries from the top.
   [[noreturn]] void restart();
@@ -293,7 +322,13 @@ class alignas(64) Tx {
 
   // --- NOrec backend ---------------------------------------------------------
   Word norecRead(const Word* addr);
+  // Scalar-only batched variant of norecRead (see readScalar).
+  Word norecReadScalar(const Word* addr);
   Word norecUread(const Word* addr);
+  // Batched RO validation: checks every joined domain's sequence lock and,
+  // when any moved past its snapshot, runs the full value-based
+  // revalidation. Resets the unvalidated-read counter.
+  void norecRoFlushValidation();
   // Waits for every joined domain's sequence lock to be free (bounded spin
   // while this transaction itself holds sequence locks, to stay
   // deadlock-free), re-reads the value log; aborts on mismatch, else
@@ -325,6 +360,9 @@ class alignas(64) Tx {
   std::uint64_t pendingUreads_ = 0;
   std::uint64_t pendingWriteLookups_ = 0;
   std::uint64_t pendingWriteProbes_ = 0;
+  // NOrec RO mode: reads logged since the last validation point (batched
+  // validation flushes when it reaches cfg_.norecRoBatch).
+  std::uint32_t norecRoPending_ = 0;
   std::uint32_t attempts_ = 0;
   Config cfg_{};               // root domain's config, latched at begin()
   TmBackend backend_ = TmBackend::Orec;

@@ -26,6 +26,11 @@ SFTree::SFTree(SFTreeConfig cfg)
     : cfg_(cfg),
       domain_(cfg.domain != nullptr ? *cfg.domain : stm::defaultDomain()) {
   root_ = arena_.create(kInfiniteKey, 0);
+  // Updates publish violations only when someone will ever drain them: the
+  // no-restructuring baseline must not accumulate queue entries.
+  captureViolations_ =
+      cfg_.targetedMaintenance && (cfg_.rotations || cfg_.removals);
+  pathBuf_.reserve(64);
   if (cfg_.startMaintenance && (cfg_.rotations || cfg_.removals)) {
     startMaintenance();
   }
@@ -72,19 +77,26 @@ SFNode* SFTree::findPortable(stm::Tx& tx, Key k) const {
 // copy-on-rotate leave escape pointers that always lead back into the tree
 // (Lemmas 11-16).
 // --------------------------------------------------------------------------
-SFNode* SFTree::findOptimized(stm::Tx& tx, Key k) const {
+SFNode* SFTree::findOptimized(stm::Tx& tx, Key k, bool pin) const {
   SFNode* parent = root_;
   SFNode* curr = root_;
   SFNode* next = root_;
   int steps = 0;
+  // Pins recorded while examining a position that is later abandoned are
+  // demoted back to cut reads (see Tx::dropPinsAfter): only the returned
+  // position's pins must survive to commit, and keeping abandoned ones
+  // would make a search through a churning region quadratically expensive.
+  const std::size_t pinMark = pin ? tx.pinMark() : 0;
   for (;;) {
     // Inner descent.
     for (;;) {
       if (++steps > kFindStepLimit) tx.restart();
+      if (pin) tx.dropPinsAfter(pinMark);
       parent = curr;
       curr = next;
       if (curr->key == k) {
-        const RemState rem = curr->removed.read(tx);
+        const RemState rem =
+            pin ? curr->removed.readPinned(tx) : curr->removed.read(tx);
         if (rem == RemState::NotRemoved) break;  // candidate found
         // The node with our key was physically removed. If it was removed
         // by a left rotation its replacement is in the right subtree
@@ -103,9 +115,12 @@ SFNode* SFTree::findOptimized(stm::Tx& tx, Key k) const {
       next = goLeft ? curr->left.uread(tx) : curr->right.uread(tx);
       if (next != nullptr) continue;
       // Reached a null child. Pin it if the node is still in the tree.
-      const RemState rem = curr->removed.read(tx);
+      const RemState rem =
+          pin ? curr->removed.readPinned(tx) : curr->removed.read(tx);
       if (rem == RemState::NotRemoved) {
-        next = goLeft ? curr->left.read(tx) : curr->right.read(tx);
+        next = goLeft ? (pin ? curr->left.readPinned(tx) : curr->left.read(tx))
+                      : (pin ? curr->right.readPinned(tx)
+                             : curr->right.read(tx));
         if (next == nullptr) break;  // curr is the insertion point for k
         continue;                    // a child appeared meanwhile
       }
@@ -118,8 +133,12 @@ SFNode* SFTree::findOptimized(stm::Tx& tx, Key k) const {
     // read: this both confirms the position and makes any concurrent
     // rotation/removal at this node a detectable conflict.
     if (curr == parent) return curr;  // candidate is the root sentinel
-    SFNode* tmp = (curr->key < parent->key) ? parent->left.read(tx)
-                                            : parent->right.read(tx);
+    SFNode* tmp;
+    if (curr->key < parent->key) {
+      tmp = pin ? parent->left.readPinned(tx) : parent->left.read(tx);
+    } else {
+      tmp = pin ? parent->right.readPinned(tx) : parent->right.read(tx);
+    }
     if (tmp == curr) return curr;
     // The link changed: re-examine the candidate starting from the parent.
     next = curr;
@@ -127,9 +146,9 @@ SFNode* SFTree::findOptimized(stm::Tx& tx, Key k) const {
   }
 }
 
-SFNode* SFTree::find(stm::Tx& tx, Key k) const {
+SFNode* SFTree::find(stm::Tx& tx, Key k, bool pin) const {
   return cfg_.ops == OpsVariant::Portable ? findPortable(tx, k)
-                                          : findOptimized(tx, k);
+                                          : findOptimized(tx, k, pin);
 }
 
 // --------------------------------------------------------------------------
@@ -156,18 +175,19 @@ bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
   assert(k < kInfiniteKey && "user keys must be < +inf sentinel");
   stm::DomainScope dscope(tx, domain_);
   gc::txOpGuard(tx, registry_);
-  SFNode* curr = find(tx, k);
+  SFNode* curr = find(tx, k, /*pin=*/true);
   if (curr->key == k) {
-    if (curr->deleted.read(tx)) {
-      // Logically deleted: revive the node (abstraction-only update).
-      // Elastic mode cuts all but the most recent reads, so find()'s pin of
-      // curr->removed may have slid out of the window by now; re-pin it
-      // directly before the first write (which folds the window into the
-      // read set) so a concurrent rotation-copy or physical removal of
-      // curr is a detectable conflict — otherwise the revive could commit
-      // onto an unlinked node and be lost.
+    if (curr->deleted.readPinned(tx)) {
+      // Logically deleted: revive the node (abstraction-only update). The
+      // position reads this revive depends on — find()'s pin of
+      // curr->removed, and the deleted flag itself — are recorded with
+      // pinned reads, so even under elastic mode no window cut can drop
+      // them before the first write folds the window into the read set: a
+      // concurrent rotation-copy or physical removal of curr stays a
+      // detectable conflict all the way to commit (otherwise the revive
+      // could commit onto an unlinked node and be lost).
       if (cfg_.ops == OpsVariant::Optimized &&
-          curr->removed.read(tx) != RemState::NotRemoved) {
+          curr->removed.readPinned(tx) != RemState::NotRemoved) {
         tx.restart();
       }
       curr->deleted.write(tx, false);
@@ -177,8 +197,8 @@ bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
     }
     return false;
   }
-  // find() transactionally read the null child pointer, so a concurrent
-  // insert of the same key is a write-write/read-write conflict here.
+  // find() pinned the null child pointer, so a concurrent insert of the
+  // same key is a write-write/read-write conflict here.
   SFNode* nn = arena_.create(k, v);
   tx.onAbortDelete(nn, &SFTree::deleteNode);
   if (k < curr->key) {
@@ -187,20 +207,24 @@ bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
     curr->right.write(tx, nn);
   }
   updateTicks_.fetch_add(1, std::memory_order_relaxed);
+  // The fresh leaf may unbalance its ancestors: hand the key to the
+  // maintenance side once (and only once) this transaction commits.
+  captureViolation(tx, k);
   return true;
 }
 
 bool SFTree::eraseTx(stm::Tx& tx, Key k) {
   stm::DomainScope dscope(tx, domain_);
   gc::txOpGuard(tx, registry_);
-  SFNode* curr = find(tx, k);
+  SFNode* curr = find(tx, k, /*pin=*/true);
   if (curr->key != k) return false;
-  if (curr->deleted.read(tx)) return false;
-  // Same elastic-cut subtlety as the revive path in insertTx: re-pin the
-  // removal flag right before the write so the window still holds it when
-  // it is folded into the read set.
+  if (curr->deleted.readPinned(tx)) return false;
+  // Same elastic-cut subtlety as the revive path in insertTx: the removal
+  // flag is pinned into the permanent read set, so it is validated at
+  // commit no matter how many traversal reads the elastic window cuts
+  // in between.
   if (cfg_.ops == OpsVariant::Optimized &&
-      curr->removed.read(tx) != RemState::NotRemoved) {
+      curr->removed.readPinned(tx) != RemState::NotRemoved) {
     tx.restart();
   }
   // Logical deletion only: the structure is untouched (paper: "this
@@ -208,6 +232,9 @@ bool SFTree::eraseTx(stm::Tx& tx, Key k) {
   // unlinks the node later.
   curr->deleted.write(tx, true);
   updateTicks_.fetch_add(1, std::memory_order_relaxed);
+  // A logically deleted node is a physical-removal candidate: publish it
+  // to the maintenance side at commit.
+  captureViolation(tx, k);
   return true;
 }
 
@@ -312,12 +339,18 @@ bool SFTree::move(Key from, Key to) {
     if (containsTx(tx, to)) return false;
     const std::optional<Value> v = getTx(tx, from);
     if (!v) return false;
-    eraseTx(tx, from);
+    if (!eraseTx(tx, from)) {
+      // Under elastic reads the getTx(from) above may have been cut from
+      // the validation window; a concurrent erase of `from` can land in
+      // between, making this erase find the key already deleted. Going on
+      // to insert `to` anyway would create a key out of thin air (+1); a
+      // restart re-reads `from` and returns false cleanly.
+      tx.restart();
+    }
     if (!insertTx(tx, to, *v)) {
-      // Under elastic reads the earlier contains(to) may have been cut from
-      // the validation window; a concurrent insert of `to` then makes this
-      // insert fail. Retrying (which discards the erase) keeps the move
-      // atomic instead of losing the key.
+      // Same cut, other side: a concurrent insert of `to` can slip past
+      // the earlier contains(to). Retrying (which discards the erase)
+      // keeps the move atomic instead of losing the key.
       tx.restart();
     }
     return true;
@@ -480,6 +513,14 @@ void SFTree::retireNode(SFNode* n) {
   ++maintStats_.nodesRetired;
 }
 
+void SFTree::captureViolation(stm::Tx& tx, Key k) {
+  if (!captureViolations_) return;
+  // Runs when the (outermost, for composed operations) transaction commits;
+  // dropped on abort. The hook captures only the key — entries must not
+  // dangle into nodes the maintenance side may retire.
+  tx.onCommit([this, k] { violations_.publish(k); });
+}
+
 // --------------------------------------------------------------------------
 // Maintenance thread (paper §3.1/3.2/3.4): one background thread repeatedly
 // performs a depth-first traversal that propagates balance estimates,
@@ -512,64 +553,153 @@ void SFTree::maintenanceLoop() {
 }
 
 bool SFTree::runMaintenancePass(const std::atomic<bool>* cancel) {
+  bool fullSweep = !cfg_.targetedMaintenance;
+  if (!fullSweep) {
+    // Periodic fallback sweep: the safety net for anything the queue could
+    // not carry — drain/update races absorbed by the dedup handshake,
+    // deleted two-child nodes that only became removable after their
+    // subtree emptied, dropped captures on overflow.
+    ++passesSinceSweep_;
+    if (cfg_.fullSweepPeriod > 0 && passesSinceSweep_ >= cfg_.fullSweepPeriod) {
+      fullSweep = true;
+    }
+    if (violations_.consumeOverflow()) fullSweep = true;
+  }
+  return maintainOnce(cancel, fullSweep);
+}
+
+bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
   limbo_.openEpoch(registry_);
   bool didWork = false;
-  SFNode* top = root_->left.loadAcquire();
-  maintainSubtree(root_, top, /*leftChild=*/true, didWork, 0, cancel);
+  if (cfg_.targetedMaintenance) {
+    if (drainViolations(cancel)) didWork = true;
+  }
+  if (fullSweep) {
+    SFNode* top = root_->left.loadAcquire();
+    maintainSubtree(root_, top, /*leftChild=*/true, didWork, 0, cancel);
+    passesSinceSweep_ = 0;
+  }
   limbo_.tryCollect(registry_);
   {
     std::lock_guard<std::mutex> lk(maintStatsMu_);
     ++maintStats_.traversals;
+    if (fullSweep) ++maintStats_.fullSweeps;
     maintStats_.nodesFreed = limbo_.freedTotal();
+    // passVisited_ is worker-private; fold it into the guarded stats once
+    // per pass so visits cost no synchronization per node.
+    maintStats_.nodesVisited += passVisited_;
+    passVisited_ = 0;
   }
   return didWork;
 }
 
-int SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
-                            bool& didWork, int depth,
-                            const std::atomic<bool>* cancel) {
-  if (node == nullptr) return 0;
-  if (depth > kMaintenanceDepthLimit) return node->localH;
-  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-    return node->localH;
-  }
+// --------------------------------------------------------------------------
+// Targeted repair: drain the mutator-fed violation queue and fix only the
+// affected root-paths. All plain (non-transactional) loads below are safe
+// because the worker running the pass is the only structural mutator of the
+// tree (the runMaintenancePass contract): concurrent abstract operations
+// only link fresh leaves (published with release stores) and flip flags.
+// --------------------------------------------------------------------------
+bool SFTree::drainViolations(const std::atomic<bool>* cancel) {
+  bool didWork = false;
+  violations_.drain([&](Key k) {
+    processViolation(k, didWork);
+    return cancel == nullptr || !cancel->load(std::memory_order_relaxed);
+  });
+  return didWork;
+}
 
-  // Physical removal first: logically deleted nodes with at most one child
-  // are unlinked (the transaction re-checks everything; the flags here are
-  // only hints).
-  if (cfg_.removals && node->deleted.loadAcquire() &&
-      (node->left.loadAcquire() == nullptr ||
-       node->right.loadAcquire() == nullptr)) {
-    if (tryRemovePhysical(parent, leftChild)) {
-      didWork = true;
-      {
-        std::lock_guard<std::mutex> lk(maintStatsMu_);
-        ++maintStats_.removals;
-      }
-      // Continue with whatever took the node's place.
-      SFNode* replacement =
-          leftChild ? parent->left.loadAcquire() : parent->right.loadAcquire();
-      return maintainSubtree(parent, replacement, leftChild, didWork, depth,
-                             cancel);
+void SFTree::processViolation(Key k, bool& didWork) {
+  // Root-path walk to k's position, recording the path. The walk can only
+  // meet reachable (never removed) nodes; nodes this pass itself retires
+  // stay readable until a later pass's collection epoch.
+  pathBuf_.clear();
+  SFNode* parent = root_;
+  SFNode* node = root_->left.loadAcquire();
+  bool leftChild = true;
+  int steps = 0;
+  while (node != nullptr && node->key != k) {
+    ++passVisited_;
+    pathBuf_.push_back(PathStep{parent, node, leftChild});
+    parent = node;
+    leftChild = k < node->key;
+    node = leftChild ? node->left.loadAcquire() : node->right.loadAcquire();
+    if (++steps > kMaintenanceDepthLimit) return;  // defensive
+  }
+  if (node != nullptr) {
+    ++passVisited_;
+    // Physical removal first (the transaction re-checks everything; the
+    // flags are only hints), then local rebalance of whatever holds the
+    // position now.
+    while (tryRemoveAt(parent, node, leftChild, didWork)) {
     }
-    std::lock_guard<std::mutex> lk(maintStatsMu_);
-    ++maintStats_.failedStructuralOps;
+    if (node != nullptr) rebalanceAt(parent, node, leftChild, didWork);
   }
+  // Bottom-up along the recorded root-path: refresh the balance estimates
+  // and rotate where the AVL bound is violated. A rotation at a deeper
+  // position only replaces that position's subtree root, so the recorded
+  // ancestors stay valid; each step re-reads its children's estimates. The
+  // walk stops as soon as a level neither removed nor changed height nor
+  // rotated (the classic AVL fixup termination): above that point the
+  // ancestors' inputs are exactly what they already were, so the remaining
+  // climb would be pure rediscovery — the cost this queue exists to avoid.
+  for (auto it = pathBuf_.rbegin(); it != pathBuf_.rend(); ++it) {
+    ++passVisited_;
+    bool levelChanged = false;
+    while (tryRemoveAt(it->parent, it->node, it->leftChild, didWork)) {
+      levelChanged = true;
+    }
+    if (it->node != nullptr) {
+      levelChanged |= rebalanceAt(it->parent, it->node, it->leftChild,
+                                  didWork);
+    }
+    if (!levelChanged) break;
+  }
+}
 
-  // Depth-first: propagate balance estimates bottom-up (paper §3.1,
-  // "propagation"). These fields are maintenance-private.
+bool SFTree::tryRemoveAt(SFNode* parent, SFNode*& node, bool leftChild,
+                         bool& didWork) {
+  if (!cfg_.removals || node == nullptr) return false;
+  if (!node->deleted.loadAcquire()) return false;
+  if (node->left.loadAcquire() != nullptr &&
+      node->right.loadAcquire() != nullptr) {
+    // Only nodes with at most one child are physically removed; a deleted
+    // two-child node becomes removable once one side empties (rediscovered
+    // by the fallback sweep).
+    return false;
+  }
+  if (tryRemovePhysical(parent, leftChild)) {
+    didWork = true;
+    {
+      std::lock_guard<std::mutex> lk(maintStatsMu_);
+      ++maintStats_.removals;
+    }
+    // Continue with whatever took the node's place.
+    node = leftChild ? parent->left.loadAcquire() : parent->right.loadAcquire();
+    return true;
+  }
+  std::lock_guard<std::mutex> lk(maintStatsMu_);
+  ++maintStats_.failedStructuralOps;
+  return false;
+}
+
+bool SFTree::rebalanceAt(SFNode* parent, SFNode* node, bool leftChild,
+                         bool& didWork) {
+  // Refresh this node's balance estimates from its children's stored ones
+  // (paper §3.1, "propagation"; the estimates are maintenance-private and
+  // tolerate staleness — off-path subtrees carry their own queue entries).
   SFNode* l = node->left.loadAcquire();
-  const int lh = maintainSubtree(node, l, /*leftChild=*/true, didWork,
-                                 depth + 1, cancel);
   SFNode* r = node->right.loadAcquire();
-  const int rh = maintainSubtree(node, r, /*leftChild=*/false, didWork,
-                                 depth + 1, cancel);
+  const int lh = l != nullptr ? l->localH : 0;
+  const int rh = r != nullptr ? r->localH : 0;
+  const bool heightChanged =
+      node->leftH != lh || node->rightH != rh ||
+      node->localH != std::max(lh, rh) + 1;
   node->leftH = lh;
   node->rightH = rh;
   node->localH = std::max(lh, rh) + 1;
-  const int resultH = node->localH;
 
-  if (!cfg_.rotations) return resultH;
+  if (!cfg_.rotations) return heightChanged;
   if (lh - rh > 1) {
     // Left-heavy. If the left child leans right, first rotate it left so a
     // single right rotation at `node` balances (two node-local
@@ -596,9 +726,11 @@ int SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
         ++maintStats_.failedStructuralOps;
       }
     }
-    // `node` may have been retired by the rotation: report the stale height
-    // and let the next traversal refresh the estimates.
-  } else if (rh - lh > 1) {
+    // `node` may have been retired by the rotation: the caller re-reads the
+    // parent's link (or lets the next pass refresh the estimates).
+    return true;
+  }
+  if (rh - lh > 1) {
     SFNode* child = node->right.loadAcquire();
     if (child != nullptr && child->leftH > child->rightH) {
       if (tryRotateRight(node, /*leftChild=*/false)) {
@@ -619,22 +751,53 @@ int SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
         ++maintStats_.failedStructuralOps;
       }
     }
+    return true;
   }
-  return resultH;
+  return heightChanged;
+}
+
+void SFTree::maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
+                             bool& didWork, int depth,
+                             const std::atomic<bool>* cancel) {
+  if (node == nullptr) return;
+  if (depth > kMaintenanceDepthLimit) return;
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+  ++passVisited_;
+
+  // Physical removal first; continue with whatever took the node's place.
+  while (tryRemoveAt(parent, node, leftChild, didWork)) {
+    if (node != nullptr) ++passVisited_;
+  }
+  if (node == nullptr) return;
+
+  // Depth-first recursion, then propagate + rotate on the way up.
+  maintainSubtree(node, node->left.loadAcquire(), /*leftChild=*/true, didWork,
+                  depth + 1, cancel);
+  maintainSubtree(node, node->right.loadAcquire(), /*leftChild=*/false,
+                  didWork, depth + 1, cancel);
+  rebalanceAt(parent, node, leftChild, didWork);
 }
 
 int SFTree::quiesceNow(int maxPasses) {
   assert(!maintenanceThread_.joinable() &&
          "stop the maintenance thread before quiescing manually");
   for (int pass = 1; pass <= maxPasses; ++pass) {
-    if (!runMaintenancePass()) return pass;
+    // Drain the queue first; once it is empty every pass includes a full
+    // sweep, and a clean sweep over an empty queue is the fixpoint.
+    const bool sweep =
+        !cfg_.targetedMaintenance || violations_.depth() == 0;
+    violations_.consumeOverflow();  // sweeps below cover any dropped entries
+    const bool didWork = maintainOnce(nullptr, sweep);
+    if (!didWork && sweep && violations_.depth() == 0) return pass;
   }
   return maxPasses;
 }
 
 MaintenanceStats SFTree::maintenanceStats() const {
   std::lock_guard<std::mutex> lk(maintStatsMu_);
-  return maintStats_;
+  MaintenanceStats out = maintStats_;
+  out.queue = violations_.stats();
+  return out;
 }
 
 // --------------------------------------------------------------------------

@@ -33,6 +33,7 @@
 #include "mem/arena.hpp"
 #include "stm/stm.hpp"
 #include "trees/key.hpp"
+#include "trees/violation_queue.hpp"
 
 namespace sftree::trees {
 
@@ -93,6 +94,19 @@ struct SFTreeConfig {
   // runMaintenancePass() itself and multiplexes many trees onto a small
   // worker pool.
   bool startMaintenance = true;
+  // Targeted maintenance: update transactions publish the keys they
+  // unbalance or logically delete into the tree's violation queue at commit
+  // time, and a maintenance pass drains the queue and repairs only the
+  // affected root-paths instead of sweeping the whole tree. Off = every
+  // pass is a full depth-first sweep (the paper's original discovery mode).
+  bool targetedMaintenance = true;
+  // With targeted maintenance, every Nth pass additionally runs a full
+  // depth-first sweep as a safety net for missed or stale queue entries
+  // (drain races, deleted two-child nodes that only become removable
+  // later). 0 disables the periodic fallback entirely (an overflowing
+  // queue still forces one); quiesceNow() always finishes with clean
+  // sweeps regardless.
+  int fullSweepPeriod = 64;
   // Pause between two depth-first maintenance traversals when the previous
   // one found no work, to avoid burning a core on an idle tree.
   std::chrono::microseconds idlePause{100};
@@ -104,12 +118,19 @@ struct SFTreeConfig {
 };
 
 struct MaintenanceStats {
-  std::uint64_t traversals = 0;
+  std::uint64_t traversals = 0;   // maintenance passes (targeted or sweep)
+  std::uint64_t fullSweeps = 0;   // passes that included a full DFS sweep
   std::uint64_t rotations = 0;
   std::uint64_t removals = 0;
   std::uint64_t failedStructuralOps = 0;
   std::uint64_t nodesFreed = 0;
   std::uint64_t nodesRetired = 0;
+  // Nodes examined by maintenance (every DFS visit + every root-path step):
+  // the "maintenance work" numerator — divide by committed updates to get
+  // the cost the targeted mode is built to shrink.
+  std::uint64_t nodesVisited = 0;
+  // Violation-queue view (see ViolationQueueStats for field meanings).
+  ViolationQueueStats queue;
 };
 
 class SFTree {
@@ -162,6 +183,11 @@ class SFTree {
 
   MaintenanceStats maintenanceStats() const;
 
+  // Entries currently waiting in the violation queue (racy snapshot). This
+  // is the occupancy an external scheduler uses to steer workers toward the
+  // hottest shards.
+  std::uint64_t violationQueueDepth() const { return violations_.depth(); }
+
   // Monotonic activity counter: bumped inside every update attempt that
   // reached its write (insertTx/eraseTx, so composed operations count too).
   // A hint, not an exact tally — aborted-and-retried transactions tick more
@@ -204,9 +230,13 @@ class SFTree {
   // --- find (both variants) -------------------------------------------------
   // Returns the node with key k, or the node whose null child is the unique
   // insertion point for k (paper: find "returns the correct location").
+  // `pin` (update paths) records the position reads — the candidate's
+  // removed flag, the pinned null child, the parent link — in the permanent
+  // read set so an elastic transaction's window cuts cannot evict them
+  // before the first write folds the window in (see Tx::readPinned).
   SFNode* findPortable(stm::Tx& tx, Key k) const;
-  SFNode* findOptimized(stm::Tx& tx, Key k) const;
-  SFNode* find(stm::Tx& tx, Key k) const;
+  SFNode* findOptimized(stm::Tx& tx, Key k, bool pin) const;
+  SFNode* find(stm::Tx& tx, Key k, bool pin = false) const;
 
   // --- structural transactions (maintenance thread) ------------------------
   // `changed` is true when the tree was modified; the returned pointer is
@@ -228,11 +258,34 @@ class SFTree {
 
   // --- maintenance ----------------------------------------------------------
   void maintenanceLoop();
-  // Depth-first pass: propagates heights, triggers rotations/removals.
-  // Returns the local height of the subtree hanging off (parent, leftChild).
-  int maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
-                      bool& didWork, int depth,
-                      const std::atomic<bool>* cancel);
+  // One maintenance pass body: optional targeted drain plus (when
+  // `fullSweep`) a depth-first sweep, bracketed by one GC epoch.
+  bool maintainOnce(const std::atomic<bool>* cancel, bool fullSweep);
+  // Depth-first sweep: propagates heights, triggers rotations/removals.
+  void maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
+                       bool& didWork, int depth,
+                       const std::atomic<bool>* cancel);
+  // Targeted path: drains the violation queue; each entry triggers a
+  // root-path walk + local repair. Returns true when structural work
+  // happened.
+  bool drainViolations(const std::atomic<bool>* cancel);
+  void processViolation(Key k, bool& didWork);
+  // If the node hanging off (parent, leftChild) is a removable logically
+  // deleted node, unlink it and load its replacement into `node`. Returns
+  // true on a successful removal.
+  bool tryRemoveAt(SFNode* parent, SFNode*& node, bool leftChild,
+                   bool& didWork);
+  // Refreshes node's balance estimates from its children's stored estimates
+  // and rotates when the AVL bound is violated (`node` may be retired by
+  // the rotation; the caller re-reads the parent's link afterwards).
+  // Returns true when the node's stored height changed or a rotation was
+  // attempted — i.e. when the ancestors' estimates may now be stale. A
+  // false return lets a root-path walk stop propagating early (the classic
+  // AVL fixup termination).
+  bool rebalanceAt(SFNode* parent, SFNode* node, bool leftChild,
+                   bool& didWork);
+  // Publishes a violation at key k when this update transaction commits.
+  void captureViolation(stm::Tx& tx, Key k);
   void retireNode(SFNode* n);
 
   static void deleteNode(void* p) { mem::NodeArena<SFNode>::destroy(p); }
@@ -248,10 +301,27 @@ class SFTree {
   gc::ThreadRegistry registry_;
   gc::LimboList limbo_;  // touched only by the maintenance thread
 
+  // Mutator -> maintenance violation channel. True when updates publish
+  // into it (targeted mode with some restructuring enabled).
+  ViolationQueue violations_;
+  bool captureViolations_ = false;
+
   std::thread maintenanceThread_;
   std::atomic<bool> stopFlag_{false};
   MaintenanceStats maintStats_;
   mutable std::mutex maintStatsMu_;
+  // Passes since the last full sweep, and nodes visited by the current
+  // pass (maintenance thread / single external worker only, like the limbo
+  // list; passVisited_ folds into maintStats_ under the mutex per pass).
+  int passesSinceSweep_ = 0;
+  std::uint64_t passVisited_ = 0;
+  // Scratch for processViolation's root-path walk (consumer-only).
+  struct PathStep {
+    SFNode* parent;
+    SFNode* node;
+    bool leftChild;
+  };
+  std::vector<PathStep> pathBuf_;
 
   std::atomic<std::int64_t> sizeEstimate_{0};
   std::atomic<std::uint64_t> updateTicks_{0};

@@ -285,4 +285,49 @@ TEST(MaintenanceSchedulerTest, ShutdownCancelsInFlightPass) {
   EXPECT_TRUE(sawCancel.load());
 }
 
+// Load-driven priority: among simultaneously eligible trees, the worker
+// must pick the one reporting the highest pending load (the violation-queue
+// depth in production) ahead of its round-robin position.
+TEST(MaintenanceSchedulerTest, LoadSteersWorkersToTheHottestTree) {
+  shard::MaintenanceSchedulerConfig cfg;
+  cfg.workers = 1;
+  cfg.basePause = std::chrono::milliseconds(50);  // signals drive eligibility
+  shard::MaintenanceScheduler scheduler(cfg);
+
+  std::atomic<std::uint64_t> coldPasses{0};
+  std::atomic<std::uint64_t> hotPasses{0};
+  // Ever-changing signals keep both entries eligible at every scan, so each
+  // pick is a genuine load comparison.
+  std::atomic<std::uint64_t> tick{0};
+  const auto cold = scheduler.registerTree(
+      "cold",
+      [&](const std::atomic<bool>*) {
+        coldPasses.fetch_add(1);
+        return false;
+      },
+      [&] { return tick.fetch_add(1); });
+  const auto hot = scheduler.registerTree(
+      "hot",
+      [&](const std::atomic<bool>*) {
+        hotPasses.fetch_add(1);
+        return false;
+      },
+      [&] { return tick.fetch_add(1); }, [] { return std::uint64_t{64}; });
+
+  waitFor([&] { return hotPasses.load() >= 20; });
+  // The hot tree is scanned after the cold one whenever the rotation starts
+  // at "cold", so every such pick must have been a load override.
+  waitFor([&] { return scheduler.stats().priorityPicks > 0; });
+  // Anti-starvation: the hot tree stays eligible forever (its signal keeps
+  // changing), yet the overtake cap must still force the cold tree through.
+  waitFor([&] { return coldPasses.load() > 0; });
+  const auto trees = scheduler.treeStats();
+  for (const auto& t : trees) {
+    if (t.name == "hot") EXPECT_EQ(t.lastLoad, 64u);
+    if (t.name == "cold") EXPECT_EQ(t.lastLoad, 0u);
+  }
+  scheduler.unregisterTree(hot);
+  scheduler.unregisterTree(cold);
+}
+
 }  // namespace

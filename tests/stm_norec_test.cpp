@@ -195,4 +195,55 @@ TEST_F(StmNorecTest, CommitHooksAndAllocsWork) {
   EXPECT_EQ(hookRuns, 1);
 }
 
+// Batched RO validation (one sequence-lock check per K reads instead of
+// per read) must not weaken snapshot consistency: a reader summing many
+// fields that writers shuffle (preserving the total) must always commit
+// the invariant total, for batch sizes both above and below the scan
+// length.
+TEST_F(StmNorecTest, BatchedReadOnlyValidationKeepsSnapshots) {
+  constexpr int kSlots = 64;
+  constexpr std::int64_t kTotal = 1'000;
+  const auto originalCfg = stm::defaultDomain().config();
+  for (const std::uint32_t batch : {4u, 256u}) {
+    auto cfg = stm::defaultDomain().config();
+    cfg.norecRoBatch = batch;
+    stm::defaultDomain().setConfig(cfg);
+
+    std::vector<stm::TxField<std::int64_t>> slots(kSlots);
+    stm::atomically([&](stm::Tx& tx) { slots[0].write(tx, kTotal); });
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> anomalies{0};
+    std::thread writer([&] {
+      std::uint64_t seed = 1234;
+      while (!stop.load(std::memory_order_acquire)) {
+        seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        const int a = static_cast<int>((seed >> 33) % kSlots);
+        const int b = static_cast<int>((seed >> 13) % kSlots);
+        if (a == b) continue;
+        stm::atomically([&](stm::Tx& tx) {
+          // Move one unit from a to b: the total is invariant.
+          const auto va = slots[a].read(tx);
+          if (va == 0) return;
+          slots[a].write(tx, va - 1);
+          slots[b].write(tx, slots[b].read(tx) + 1);
+        });
+      }
+    });
+    for (int i = 0; i < 2'000; ++i) {
+      const auto sum =
+          stm::atomically(stm::TxKind::ReadOnly, [&](stm::Tx& tx) {
+            std::int64_t s = 0;
+            for (auto& slot : slots) s += slot.read(tx);
+            return s;
+          });
+      if (sum != kTotal) anomalies.fetch_add(1);
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    EXPECT_EQ(anomalies.load(), 0) << "batch=" << batch;
+  }
+  stm::defaultDomain().setConfig(originalCfg);
+}
+
 }  // namespace
