@@ -19,13 +19,33 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_readpath.json}"
 OUT_MAINT="${3:-BENCH_maintpath.json}"
 
+# Fail fast, before any partial output exists: a missing tool or bench
+# binary used to surface as a half-written JSON that the schema checker
+# then blamed. Outputs are also written atomically (tmp + mv) below, so an
+# interrupted run can never leave a truncated report behind.
 if ! command -v jq >/dev/null; then
-  echo "run_quick.sh: jq is required to merge the reports" >&2
+  echo "run_quick.sh: jq is required to merge the reports" \
+       "(apt-get install jq)" >&2
   exit 1
 fi
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "run_quick.sh: build dir '$BUILD_DIR' not found" >&2
   exit 1
+fi
+missing=()
+for bin in fig3_microbench fig5b_move table1_reads ablation_maintenance; do
+  [[ -x "$BUILD_DIR/$bin" ]] || missing+=("$bin")
+done
+if (( ${#missing[@]} > 0 )); then
+  echo "run_quick.sh: missing bench binaries in '$BUILD_DIR':" \
+       "${missing[*]} — configure with -DSFTREE_BUILD_BENCH=ON and build" >&2
+  exit 1
+fi
+# stm_micro is optional (needs google-benchmark); warn once here instead of
+# silently emitting the skip marker only.
+if [[ ! -x "$BUILD_DIR/stm_micro" ]]; then
+  echo "run_quick.sh: stm_micro not built (libbenchmark-dev missing?);" \
+       "its section will be marked skipped" >&2
 fi
 
 TMP="$(mktemp -d)"
@@ -63,7 +83,8 @@ jq -n \
      fig5b_move: $fig5b[0],
      table1_reads: $table1[0],
      stm_micro: $micro[0]
-   }' > "$OUT"
+   }' > "$OUT.tmp.$$"
+mv "$OUT.tmp.$$" "$OUT"
 
 echo "consolidated report written to $OUT"
 
@@ -80,6 +101,7 @@ jq -n \
   '{
      bench: "maintpath",
      ablation_maintenance_ab: $ab[0]
-   }' > "$OUT_MAINT"
+   }' > "$OUT_MAINT.tmp.$$"
+mv "$OUT_MAINT.tmp.$$" "$OUT_MAINT"
 
 echo "consolidated report written to $OUT_MAINT"

@@ -150,5 +150,28 @@ int main() {
   std::printf("write-set lookups     : %llu (mean probe length %.2f)\n",
               static_cast<unsigned long long>(stats.stm.writeLookups),
               stats.stm.meanWriteProbe());
+
+  // --- dynamic re-sharding --------------------------------------------------
+  // The shard count is not fixed: splitShard moves half a hot shard's
+  // routing slots onto a fresh tree (and clock domain) under live traffic,
+  // mergeShards migrates a cold shard away and retires its tree + domain.
+  // ReshardController automates both from the load gauges above; here the
+  // mechanism is driven directly.
+  const std::size_t before = map.size();
+  const int fresh = map.splitShard(0);
+  std::printf("\nsplitShard(0)         : now %d shards (new index %d), "
+              "size still %zu\n",
+              map.shardCount(), fresh, map.size());
+  if (fresh >= 0) map.mergeShards(fresh, 0);
+  const auto rs = map.reshardStats();
+  std::printf("mergeShards back      : %d shards, size %zu (conserved: %s)\n",
+              map.shardCount(), map.size(),
+              map.size() == before ? "yes" : "NO");
+  std::printf("re-shard mechanics    : %llu keys migrated in %llu batches, "
+              "%llu table publishes, %llu KiB of retired arenas freed\n",
+              static_cast<unsigned long long>(rs.keysMigrated),
+              static_cast<unsigned long long>(rs.migrationBatches),
+              static_cast<unsigned long long>(rs.tablePublishes),
+              static_cast<unsigned long long>(rs.retiredArenaBytes / 1024));
   return 0;
 }

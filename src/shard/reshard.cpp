@@ -1,0 +1,107 @@
+#include "shard/reshard.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sftree::shard {
+
+ReshardController::ReshardController(ShardedMap& map,
+                                     ReshardControllerConfig cfg)
+    : map_(map), cfg_(cfg) {}
+
+ReshardController::~ReshardController() { stop(); }
+
+void ReshardController::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      sampleAndAct();
+      // Sleep in small steps so stop() stays responsive even with long
+      // sampling periods.
+      auto left = cfg_.samplePeriod;
+      while (left.count() > 0 && !stop_.load(std::memory_order_acquire)) {
+        const auto step = std::min<std::chrono::milliseconds>(
+            left, std::chrono::milliseconds(10));
+        std::this_thread::sleep_for(step);
+        left -= step;
+      }
+    }
+  });
+}
+
+void ReshardController::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+bool ReshardController::sampleAndAct() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto samples = map_.loadSamples();
+  ++stats_.samples;
+  const int n = static_cast<int>(samples.size());
+  if (n == 0) return false;
+
+  // Interval load per shard: update-tick delta since the previous sample
+  // (traffic) plus the weighted violation-queue backlog. New shards (no
+  // previous reading) contribute their backlog only for one interval.
+  std::vector<Score> scores;
+  scores.reserve(samples.size());
+  double total = 0;
+  std::map<const void*, std::uint64_t> ticksNow;
+  for (const ShardLoadSample& s : samples) {
+    ticksNow[s.id] = s.updateTicks;
+    const auto it = prevTicks_.find(s.id);
+    const std::uint64_t delta =
+        it == prevTicks_.end()
+            ? 0
+            : (s.updateTicks >= it->second ? s.updateTicks - it->second : 0);
+    const double load =
+        static_cast<double>(delta) +
+        static_cast<double>(cfg_.queueDepthWeight * s.queueDepth);
+    scores.push_back(Score{s.index, load});
+    total += load;
+  }
+  prevTicks_ = std::move(ticksNow);
+
+  if (total < static_cast<double>(cfg_.minOpsPerSample)) {
+    ++stats_.idleSamples;
+    return false;
+  }
+  const double fairShare = total / n;
+
+  std::sort(scores.begin(), scores.end(),
+            [](const Score& a, const Score& b) { return a.load > b.load; });
+
+  const int maxShards =
+      cfg_.maxShards > 0 ? std::min(cfg_.maxShards, map_.routingSlots())
+                         : map_.routingSlots();
+  if (scores.front().load > cfg_.splitFactor * fairShare && n < maxShards) {
+    if (map_.splitShard(scores.front().index) >= 0) {
+      ++stats_.splits;
+      return true;
+    }
+    // -1: the shard is down to one slot (or the index went stale); fall
+    // through and let a merge rebalance instead if one applies.
+  }
+
+  if (n > std::max(cfg_.minShards, 1) && n >= 2) {
+    const Score& coldest = scores[scores.size() - 1];
+    const Score& secondColdest = scores[scores.size() - 2];
+    if (coldest.load + secondColdest.load < cfg_.mergeFactor * fairShare) {
+      if (map_.mergeShards(coldest.index, secondColdest.index)) {
+        ++stats_.merges;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+ReshardControllerStats ReshardController::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace sftree::shard

@@ -1,0 +1,104 @@
+// ReshardController: online shard-count adaptation policy.
+//
+// Ballard et al.'s contention-adapting trees split and merge on observed
+// contention; this controller lifts the same feedback loop to the shard
+// layer. It periodically samples the per-shard load gauges the maintenance
+// side already collects — the violation-queue depth (backlog) and the
+// monotonic update-tick counter (traffic), plus per-domain commit/abort
+// rates in PerShard mode — and, past configurable thresholds:
+//
+//   * splits the hottest shard when its share of the sampled load exceeds
+//     splitFactor times the fair share (and the shard count is below the
+//     ceiling), spreading the hot slots over one more tree/domain;
+//   * merges the two coldest shards when their combined share falls below
+//     mergeFactor times the fair share (and the count is above the floor),
+//     retiring a tree (and, in PerShard mode, its clock domain).
+//
+// The mechanism (routing-table flips, batched key migration, retirement)
+// lives in ShardedMap::splitShard/mergeShards; the controller is pure
+// policy and can also be driven manually (sampleAndAct) by benchmarks and
+// tests that force a cycle.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "shard/sharded_map.hpp"
+
+namespace sftree::shard {
+
+struct ReshardControllerConfig {
+  int minShards = 1;
+  // 0 = the map's routingSlots (the hard ceiling either way).
+  int maxShards = 0;
+  // Split when the hottest shard's load exceeds this multiple of the fair
+  // (mean) share. 2.0 = "twice what it would carry under perfect balance".
+  double splitFactor = 2.0;
+  // Merge when the two coldest shards *together* carry less than this
+  // multiple of one fair share.
+  double mergeFactor = 0.5;
+  // Ignore samples with fewer update ticks than this across the whole map:
+  // thresholds on a near-idle interval are noise, and resharding an idle
+  // map buys nothing.
+  std::uint64_t minOpsPerSample = 1024;
+  // Violation-queue backlog is weighted this many update ticks per entry
+  // (backlog signals maintenance falling behind, which is worth reacting
+  // to faster than raw traffic).
+  std::uint64_t queueDepthWeight = 4;
+  // Background sampling period (start()/stop()).
+  std::chrono::milliseconds samplePeriod{100};
+};
+
+struct ReshardControllerStats {
+  std::uint64_t samples = 0;
+  std::uint64_t idleSamples = 0;  // skipped: below minOpsPerSample
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+};
+
+class ReshardController {
+ public:
+  explicit ReshardController(ShardedMap& map,
+                             ReshardControllerConfig cfg = {});
+  ~ReshardController();  // stops the background thread if running
+
+  ReshardController(const ReshardController&) = delete;
+  ReshardController& operator=(const ReshardController&) = delete;
+
+  // Background sampling loop (one dedicated thread; re-sharding itself runs
+  // on it, so a migration never blocks an application thread).
+  void start();
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+  // One sampling step: returns true when it split or merged. Public so
+  // tests and benchmarks can drive the policy deterministically.
+  bool sampleAndAct();
+
+  ReshardControllerStats stats() const;
+
+ private:
+  // Per-shard load score over the last sampling interval.
+  struct Score {
+    int index;
+    double load;
+  };
+
+  ShardedMap& map_;
+  const ReshardControllerConfig cfg_;
+
+  mutable std::mutex mu_;  // serializes sampleAndAct (manual vs background)
+  // Update-tick reading at the previous sample, keyed by stable shard
+  // identity (tree address; indexes shift under splits/merges).
+  std::map<const void*, std::uint64_t> prevTicks_;
+  ReshardControllerStats stats_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace sftree::shard

@@ -1,13 +1,18 @@
 #include "shard/sharded_map.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <limits>
 #include <stdexcept>
+#include <thread>
+
+#include "mem/arena.hpp"
 
 namespace sftree::shard {
 
 namespace {
 
-// splitmix64 finalizer: adjacent keys land on unrelated shards, so a
+// splitmix64 finalizer: adjacent keys land on unrelated slots, so a
 // key-range scan load-balances instead of hammering one tree.
 inline std::uint64_t mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -18,156 +23,434 @@ inline std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
+// --------------------------------------------------------------------------
+// OpGuard
+// --------------------------------------------------------------------------
+void ShardedMap::OpGuard::drain() {
+  const std::uint64_t old = epoch_.fetch_add(1, std::memory_order_seq_cst);
+  const std::size_t p = old & 1;
+  for (;;) {
+    std::uint64_t sum = 0;
+    for (const Stripe& s : stripes_) {
+      sum += s.n[p].load(std::memory_order_seq_cst);
+    }
+    if (sum == 0) return;
+    std::this_thread::yield();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Construction / destruction
+// --------------------------------------------------------------------------
 ShardedMap::ShardedMap(ShardedMapConfig cfg) : cfg_(std::move(cfg)) {
-  // Hard check, not an assert: shards parameterizes a modulo on every
+  // Hard checks, not asserts: these parameterize a modulo on every
   // operation, and release builds would die with SIGFPE instead.
   if (cfg_.shards < 1) {
     throw std::invalid_argument("ShardedMap: shards must be >= 1");
   }
+  if (cfg_.routingSlots < cfg_.shards) {
+    throw std::invalid_argument(
+        "ShardedMap: routingSlots must be >= shards (slots are the "
+        "re-sharding granularity)");
+  }
+  if (cfg_.migrationBatch < 1) cfg_.migrationBatch = 1;
+  if (cfg_.domainMode == DomainMode::PerShard &&
+      cfg_.stmConfig.orecLogSize == stm::Config{}.orecLogSize) {
+    // Keep the *total* orec footprint at the single-domain default: each
+    // shard sees ~1/N of the address traffic, so 1/N of the stripes give
+    // the same false-conflict rate — and N full-size tables would blow
+    // the cache instead of relieving it. (Floor of 2^16 = 512 KiB.)
+    std::uint32_t logN = 0;
+    while ((1 << logN) < cfg_.shards) ++logN;
+    cfg_.stmConfig.orecLogSize =
+        std::max<std::uint32_t>(16, cfg_.stmConfig.orecLogSize - logN);
+  }
+  // The routing domain guards exactly one word (the table pointer); it
+  // must share the trees' TM backend and can run the smallest orec table.
+  {
+    stm::Config routeCfg =
+        cfg_.domainMode == DomainMode::PerShard
+            ? cfg_.stmConfig
+            : (cfg_.domain != nullptr ? cfg_.domain->config()
+                                      : stm::defaultDomain().config());
+    routeCfg.orecLogSize = 16;
+    routingDomain_ = std::make_unique<stm::Domain>(routeCfg);
+  }
   const auto n = static_cast<std::size_t>(cfg_.shards);
-  if (cfg_.domainMode == DomainMode::PerShard) {
-    stm::Config domCfg = cfg_.stmConfig;
-    if (domCfg.orecLogSize == stm::Config{}.orecLogSize) {
-      // Keep the *total* orec footprint at the single-domain default: each
-      // shard sees ~1/N of the address traffic, so 1/N of the stripes give
-      // the same false-conflict rate — and N full-size tables would blow
-      // the cache instead of relieving it. (Floor of 2^16 = 512 KiB.)
-      std::uint32_t logN = 0;
-      while ((std::size_t{1} << logN) < n) ++logN;
-      domCfg.orecLogSize =
-          std::max<std::uint32_t>(16, domCfg.orecLogSize - logN);
-    }
-    domains_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      domains_.push_back(std::make_unique<stm::Domain>(domCfg));
-    }
+  live_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) live_.push_back(makeShard());
+
+  // Initial routing: contiguous slot blocks, floor/ceil(S/N) slots each.
+  auto t = std::make_unique<RoutingTable>();
+  t->version = tableVersion_++;
+  t->slots.resize(static_cast<std::size_t>(cfg_.routingSlots));
+  for (std::size_t s = 0; s < t->slots.size(); ++s) {
+    const std::size_t shard = s * n / t->slots.size();
+    t->slots[s].owner = live_[shard]->tree.get();
   }
-  shards_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    trees::SFTreeConfig treeCfg = cfg_.tree;
-    if (cfg_.scheduler != nullptr) treeCfg.startMaintenance = false;
-    treeCfg.domain = cfg_.domainMode == DomainMode::PerShard
-                         ? domains_[i].get()
-                         : cfg_.domain;
-    shards_.push_back(std::make_unique<trees::SFTree>(treeCfg));
-  }
-  if (cfg_.scheduler != nullptr) {
-    handles_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      trees::SFTree* tree = shards_[i].get();
-      handles_.push_back(cfg_.scheduler->registerTree(
-          cfg_.name + "/" + std::to_string(i),
-          [tree](const std::atomic<bool>* cancel) {
-            return tree->runMaintenancePass(cancel);
-          },
-          [tree] { return tree->updateTicks(); },
-          // Pending violation-queue entries: workers drain the hottest
-          // shard first instead of blind round-robin.
-          [tree] { return tree->violationQueueDepth(); }));
-    }
-  }
+  tableTx_.storeRelaxed(t.release());  // pre-publication: single-threaded
 }
 
 ShardedMap::~ShardedMap() {
   // Unregister before the trees go away: unregisterTree blocks until any
   // in-flight pass on the shard has finished.
   if (cfg_.scheduler != nullptr) {
-    for (const auto h : handles_) cfg_.scheduler->unregisterTree(h);
+    for (const auto& rec : live_) cfg_.scheduler->unregisterTree(rec->handle);
   }
+  delete tableTx_.loadRelaxed();
 }
 
-std::size_t ShardedMap::hashShard(Key k) const {
-  return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(k)) %
-                                  static_cast<std::uint64_t>(shards_.size()));
+std::unique_ptr<ShardedMap::ShardRec> ShardedMap::makeShard() {
+  auto rec = std::make_unique<ShardRec>();
+  if (cfg_.domainMode == DomainMode::PerShard) {
+    rec->domain = std::make_unique<stm::Domain>(cfg_.stmConfig);
+  }
+  trees::SFTreeConfig treeCfg = cfg_.tree;
+  if (cfg_.scheduler != nullptr) treeCfg.startMaintenance = false;
+  treeCfg.domain = cfg_.domainMode == DomainMode::PerShard ? rec->domain.get()
+                                                           : cfg_.domain;
+  rec->tree = std::make_unique<trees::SFTree>(treeCfg);
+  if (cfg_.scheduler != nullptr) {
+    trees::SFTree* tree = rec->tree.get();
+    static std::atomic<std::uint64_t> nameSeq{0};
+    rec->handle = cfg_.scheduler->registerTree(
+        cfg_.name + "/" +
+            std::to_string(nameSeq.fetch_add(1, std::memory_order_relaxed)),
+        [tree](const std::atomic<bool>* cancel) {
+          return tree->runMaintenancePass(cancel);
+        },
+        [tree] { return tree->updateTicks(); },
+        // Pending violation-queue entries: workers drain the hottest
+        // shard first instead of blind round-robin.
+        [tree] { return tree->violationQueueDepth(); });
+  }
+  return rec;
+}
+
+std::size_t ShardedMap::slotOf(Key k) const {
+  return static_cast<std::size_t>(
+      mix64(static_cast<std::uint64_t>(k)) %
+      static_cast<std::uint64_t>(cfg_.routingSlots));
+}
+
+int ShardedMap::shardCount() const {
+  std::lock_guard<std::mutex> lk(topoMu_);
+  return static_cast<int>(live_.size());
 }
 
 int ShardedMap::shardIndexFor(Key k) const {
-  return static_cast<int>(hashShard(k));
+  // The ticket keeps a concurrent publishTable() from freeing the table
+  // out from under this (non-transactional) read.
+  OpTicket ticket(guard_);
+  const RoutingTable* t = table();
+  const trees::SFTree* owner = t->slots[slotOf(k)].owner;
+  std::lock_guard<std::mutex> lk(topoMu_);
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i]->tree.get() == owner) return static_cast<int>(i);
+  }
+  return -1;  // unreachable while owner trees come from live_
+}
+
+trees::SFTree& ShardedMap::shard(int i) {
+  std::lock_guard<std::mutex> lk(topoMu_);
+  return *live_[static_cast<std::size_t>(i)]->tree;
 }
 
 std::vector<stm::Domain*> ShardedMap::domains() {
+  std::lock_guard<std::mutex> lk(topoMu_);
   std::vector<stm::Domain*> out;
-  for (auto& s : shards_) {
-    stm::Domain* d = &s->domain();
+  for (const auto& rec : live_) {
+    stm::Domain* d = &rec->tree->domain();
     if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
   }
   return out;
 }
 
+std::vector<int> ShardedMap::slotOwners() const {
+  OpTicket ticket(guard_);
+  const RoutingTable* t = table();
+  std::lock_guard<std::mutex> lk(topoMu_);
+  std::vector<int> out(t->slots.size(), -1);
+  for (std::size_t s = 0; s < t->slots.size(); ++s) {
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i]->tree.get() == t->slots[s].owner) {
+        out[s] = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ShardLoadSample> ShardedMap::loadSamples() const {
+  std::lock_guard<std::mutex> lk(topoMu_);
+  std::vector<ShardLoadSample> out;
+  out.reserve(live_.size());
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    const trees::SFTree& tree = *live_[i]->tree;
+    ShardLoadSample s;
+    s.id = &tree;
+    s.index = static_cast<int>(i);
+    s.updateTicks = tree.updateTicks();
+    s.queueDepth = tree.violationQueueDepth();
+    s.sizeEstimate = tree.sizeEstimate();
+    out.push_back(s);
+  }
+  return out;
+}
+
 // --------------------------------------------------------------------------
-// Single-key operations: delegate to the owning shard (the tree's own entry
-// points keep the per-op stats bracket and size estimate).
+// Dual-path (migration-aware) transactional pieces. The global invariant —
+// a key is present in at most one tree — holds because inserts only reach
+// `owner` in the same transaction that verified `prev` lacks the key, and
+// the migration batches move keys prev -> owner atomically.
 // --------------------------------------------------------------------------
-bool ShardedMap::insert(Key k, Value v) { return shardFor(k).insert(k, v); }
-bool ShardedMap::erase(Key k) { return shardFor(k).erase(k); }
-bool ShardedMap::contains(Key k) { return shardFor(k).contains(k); }
-std::optional<Value> ShardedMap::get(Key k) { return shardFor(k).get(k); }
-
-bool ShardedMap::insertTx(stm::Tx& tx, Key k, Value v) {
-  return shardFor(k).insertTx(tx, k, v);
-}
-bool ShardedMap::eraseTx(stm::Tx& tx, Key k) {
-  return shardFor(k).eraseTx(tx, k);
-}
-bool ShardedMap::containsTx(stm::Tx& tx, Key k) {
-  return shardFor(k).containsTx(tx, k);
-}
-std::optional<Value> ShardedMap::getTx(stm::Tx& tx, Key k) {
-  return shardFor(k).getTx(tx, k);
+bool ShardedMap::entryContainsTx(stm::Tx& tx, const RouteEntry& e, Key k) {
+  if (e.prev != nullptr && e.prev->containsTx(tx, k)) return true;
+  return e.owner->containsTx(tx, k);
 }
 
-// All shards share one config, so the first shard's elastic-safety rule is
-// the map's.
-stm::TxKind ShardedMap::updateTxKind() const {
-  return shards_.front()->updateTxKind();
+std::optional<Value> ShardedMap::entryGetTx(stm::Tx& tx, const RouteEntry& e,
+                                            Key k) {
+  if (e.prev != nullptr) {
+    if (auto v = e.prev->getTx(tx, k)) return v;
+  }
+  return e.owner->getTx(tx, k);
 }
 
-bool ShardedMap::move(Key from, Key to) {
-  const std::size_t src = hashShard(from);
-  const std::size_t dst = hashShard(to);
-  if (src == dst) return shards_[src]->move(from, to);
+bool ShardedMap::entryInsertTx(stm::Tx& tx, const RouteEntry& e, Key k,
+                               Value v) {
+  // Never insert (or revive) into the migration source: new keys go to the
+  // new owner so the mover's scan of `prev` converges. Ordering against
+  // operations still routing by an older table is the transactional table
+  // read's job (routeTx — their commits fail validation); the absence
+  // check still *reserves* (pin-disciplined value-preserving write) rather
+  // than merely reads k's position, because a dual-path insert can run
+  // under TxKind::Elastic when the route flipped mid-operation, and
+  // elastic window cuts would evict a plain containsTx's reads — the
+  // reservation's pins and write survive cuts by the same discipline as
+  // the trees' own update paths.
+  if (e.prev != nullptr && !e.prev->reserveAbsentTx(tx, k)) return false;
+  return e.owner->insertTx(tx, k, v);
+}
 
-  // Cross-shard: one flat-nested transaction spanning both trees. The STM
-  // commit makes the erase and the insert visible atomically — with
-  // per-shard domains via the descriptor's multi-domain commit (both
-  // domains' locks held, per-domain timestamps) — so no reader can observe
-  // the key at both shards or at neither. Rooting the transaction in the
-  // source shard's domain keeps the common path cheap; the destination
-  // domain is joined on first touch.
-  auto& st = stm::threadStats(shards_[src]->domain());
+bool ShardedMap::entryEraseTx(stm::Tx& tx, const RouteEntry& e, Key k,
+                              trees::SFTree** hit) {
+  if (e.prev != nullptr && e.prev->eraseTx(tx, k)) {
+    if (hit != nullptr) *hit = e.prev;
+    return true;
+  }
+  if (e.owner->eraseTx(tx, k)) {
+    if (hit != nullptr) *hit = e.owner;
+    return true;
+  }
+  return false;
+}
+
+std::vector<trees::SFTree*> ShardedMap::distinctTrees(const RoutingTable& t) {
+  std::vector<trees::SFTree*> out;
+  for (const RouteEntry& e : t.slots) {
+    if (std::find(out.begin(), out.end(), e.owner) == out.end()) {
+      out.push_back(e.owner);
+    }
+  }
+  for (const RouteEntry& e : t.slots) {
+    if (e.prev != nullptr &&
+        std::find(out.begin(), out.end(), e.prev) == out.end()) {
+      out.push_back(e.prev);
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Single-key operations. Each plain entry point runs its transaction body
+// through the Tx-composable variant below: the routing entry is resolved
+// INSIDE the body, once per attempt (an attempt that loses a conflict to a
+// re-sharder re-routes on retry), the census ticket is deferred to attempt
+// settlement and size estimates settle via commit hooks. Routing through
+// the composable variants also makes flat nesting sound for free: a plain
+// call inside an enclosing stm::atomically runs the same body inline, so
+// the enclosing transaction inherits the deferred ticket and the
+// commit-gated estimate settlement instead of the plain wrapper's
+// call-scoped versions. The outer RAII ticket exists to keep the root
+// domain (resolved once, before the retry loop) alive across retries; the
+// transaction kind is latched from the entry observed at op start — a
+// table flip mid-op only changes which trees the (pin-disciplined,
+// restart-guarded) dual paths compose, never their safety.
+// --------------------------------------------------------------------------
+bool ShardedMap::insert(Key k, Value v) {
+  OpTicket ticket(guard_);
+  const RouteEntry e0 = table()->slots[slotOf(k)];
+  auto& st = stm::threadStats(e0.owner->domain());
   st.beginOp();
   const bool r = stm::atomically(
-      shards_[src]->domain(), updateTxKind(), [&](stm::Tx& tx) {
-        if (shards_[dst]->containsTx(tx, to)) return false;
-        const std::optional<Value> v = shards_[src]->getTx(tx, from);
-        if (!v) return false;
-        if (!shards_[src]->eraseTx(tx, from)) {
-          // Same subtleties as SFTree::move: under elastic reads a
-          // concurrent erase of `from` can slip past the getTx above —
-          // inserting `to` without having erased would conjure a key.
-          tx.restart();
-        }
-        if (!shards_[dst]->insertTx(tx, to, *v)) {
-          // ... and a concurrent insert of `to` can slip past the earlier
-          // contains; retry rather than lose the moved key.
-          tx.restart();
-        }
-        return true;
-      });
+      e0.owner->domain(), entryUpdateKind(e0),
+      [&](stm::Tx& tx) { return insertTx(tx, k, v); });
   st.endOp();
   return r;
 }
 
+bool ShardedMap::erase(Key k) {
+  OpTicket ticket(guard_);
+  const RouteEntry e0 = table()->slots[slotOf(k)];
+  auto& st = stm::threadStats(e0.owner->domain());
+  st.beginOp();
+  const bool r = stm::atomically(
+      e0.owner->domain(), entryUpdateKind(e0),
+      [&](stm::Tx& tx) { return eraseTx(tx, k); });
+  st.endOp();
+  return r;
+}
+
+bool ShardedMap::contains(Key k) {
+  OpTicket ticket(guard_);
+  const RouteEntry e0 = table()->slots[slotOf(k)];
+  auto& st = stm::threadStats(e0.owner->domain());
+  st.beginOp();
+  const bool r = stm::atomically(
+      e0.owner->domain(), stm::TxKind::ReadOnly,
+      [&](stm::Tx& tx) { return containsTx(tx, k); });
+  st.endOp();
+  return r;
+}
+
+std::optional<Value> ShardedMap::get(Key k) {
+  OpTicket ticket(guard_);
+  const RouteEntry e0 = table()->slots[slotOf(k)];
+  auto& st = stm::threadStats(e0.owner->domain());
+  st.beginOp();
+  const auto r = stm::atomically(
+      e0.owner->domain(), stm::TxKind::ReadOnly,
+      [&](stm::Tx& tx) { return getTx(tx, k); });
+  st.endOp();
+  return r;
+}
+
+// Tx-composable variants: the caller's transaction outlives this call, so
+// the census ticket is released only when the enclosing attempt has fully
+// settled (after the final validation, the tx-end quiescence signals AND
+// the commit hooks) — a commit hook registered by the tree op below (a
+// violation-queue publish) still touches tree memory that a shard
+// retirement frees the moment the census drains.
+bool ShardedMap::insertTx(stm::Tx& tx, Key k, Value v) {
+  const OpGuard::Ticket t = guard_.enter();
+  tx.onSettled([this, t] { guard_.exit(t); });
+  const RouteEntry e = routeTx(tx)->slots[slotOf(k)];
+  const bool r = entryInsertTx(tx, e, k, v);
+  if (r) {
+    // Settle the estimate only if the enclosing transaction commits: the
+    // per-shard exactness contract is load-bearing under retirement.
+    trees::SFTree* owner = e.owner;
+    tx.onCommit([owner] { owner->bumpSizeEstimate(1); });
+  }
+  return r;
+}
+
+bool ShardedMap::eraseTx(stm::Tx& tx, Key k) {
+  const OpGuard::Ticket t = guard_.enter();
+  tx.onSettled([this, t] { guard_.exit(t); });
+  const RouteEntry e = routeTx(tx)->slots[slotOf(k)];
+  trees::SFTree* hit = nullptr;
+  const bool r = entryEraseTx(tx, e, k, &hit);
+  if (r) {
+    tx.onCommit([hit] { hit->bumpSizeEstimate(-1); });
+  }
+  return r;
+}
+
+bool ShardedMap::containsTx(stm::Tx& tx, Key k) {
+  const OpGuard::Ticket t = guard_.enter();
+  tx.onSettled([this, t] { guard_.exit(t); });
+  return entryContainsTx(tx, routeTx(tx)->slots[slotOf(k)], k);
+}
+
+std::optional<Value> ShardedMap::getTx(stm::Tx& tx, Key k) {
+  const OpGuard::Ticket t = guard_.enter();
+  tx.onSettled([this, t] { guard_.exit(t); });
+  return entryGetTx(tx, routeTx(tx)->slots[slotOf(k)], k);
+}
+
+bool ShardedMap::move(Key from, Key to) {
+  OpTicket ticket(guard_);
+  const RoutingTable* t0 = table();
+  const RouteEntry f0 = t0->slots[slotOf(from)];
+  const RouteEntry to0 = t0->slots[slotOf(to)];
+
+  // One flat-nested transaction spanning every involved tree (same-shard
+  // moves just compose against one). The STM commit makes the erase and
+  // the insert visible atomically — with per-shard domains via the
+  // descriptor's multi-domain commit (all domains' locks held, per-domain
+  // timestamps) — so no reader can observe the key at both shards or at
+  // neither. Rooting the transaction in the source shard's domain keeps
+  // the common path cheap; further domains are joined on first touch.
+  // Normal when a migrating slot is involved (see entryUpdateKind).
+  const stm::TxKind kind = (f0.prev != nullptr || to0.prev != nullptr)
+                               ? stm::TxKind::Normal
+                               : f0.owner->updateTxKind();
+  auto& st = stm::threadStats(f0.owner->domain());
+  st.beginOp();
+  const bool r =
+      stm::atomically(f0.owner->domain(), kind,
+                      [&](stm::Tx& tx) { return moveTx(tx, from, to); });
+  st.endOp();
+  return r;
+}
+
+bool ShardedMap::moveTx(stm::Tx& tx, Key from, Key to) {
+  const OpGuard::Ticket ticket = guard_.enter();
+  tx.onSettled([this, ticket] { guard_.exit(ticket); });
+  const RoutingTable* t = routeTx(tx);  // per attempt: re-route on retry
+  const RouteEntry eFrom = t->slots[slotOf(from)];
+  const RouteEntry eTo = t->slots[slotOf(to)];
+  if (entryContainsTx(tx, eTo, to)) return false;
+  const std::optional<Value> v = entryGetTx(tx, eFrom, from);
+  if (!v) return false;
+  trees::SFTree* erasedFrom = nullptr;
+  if (!entryEraseTx(tx, eFrom, from, &erasedFrom)) {
+    // Same subtleties as SFTree::move: under elastic reads a concurrent
+    // erase of `from` can slip past the getTx above — inserting `to`
+    // without having erased would conjure a key.
+    tx.restart();
+  }
+  if (!entryInsertTx(tx, eTo, to, *v)) {
+    // ... and a concurrent insert of `to` can slip past the earlier
+    // contains; retry rather than lose the moved key.
+    tx.restart();
+  }
+  // Keep the per-tree size estimates exact across trees, settled only if
+  // the (possibly enclosing) transaction commits. Pre-resharding this was
+  // optional (drift cancelled in the sum); with merges retiring trees, a
+  // biased counter would be destroyed with its tree and the bias would
+  // leak into the aggregate permanently.
+  if (erasedFrom != eTo.owner) {
+    trees::SFTree* src = erasedFrom;
+    trees::SFTree* dst = eTo.owner;
+    tx.onCommit([src, dst] {
+      src->bumpSizeEstimate(-1);
+      dst->bumpSizeEstimate(1);
+    });
+  }
+  return true;
+}
+
 std::size_t ShardedMap::countRangeTx(stm::Tx& tx, Key lo, Key hi) {
-  // Hash partitioning scatters [lo, hi] across every shard; summing the
-  // per-shard transactional counts inside one transaction yields a
-  // consistent snapshot of the whole range.
+  const OpGuard::Ticket t = guard_.enter();
+  tx.onSettled([this, t] { guard_.exit(t); });
+  // Hash partitioning scatters [lo, hi] across every tree (including
+  // migration sources); summing the per-tree transactional counts inside
+  // one transaction yields a consistent snapshot of the whole range —
+  // every key is present in exactly one tree at the commit point.
+  const RoutingTable* tab = routeTx(tx);
   std::size_t total = 0;
-  for (auto& s : shards_) total += s->countRangeTx(tx, lo, hi);
+  for (trees::SFTree* tree : distinctTrees(*tab)) {
+    total += tree->countRangeTx(tx, lo, hi);
+  }
   return total;
 }
 
 std::size_t ShardedMap::countRange(Key lo, Key hi) {
+  OpTicket ticket(guard_);
   auto& st = stm::threadStats(homeDomain());
   st.beginOp();
   // ReadOnly unconditionally (never elastic — countRange promises a
@@ -184,52 +467,255 @@ std::size_t ShardedMap::countRange(Key lo, Key hi) {
 }
 
 // --------------------------------------------------------------------------
+// Re-sharding machinery
+// --------------------------------------------------------------------------
+void ShardedMap::publishTable(std::unique_ptr<RoutingTable> next) {
+  // The transactional write is the serialization point: any in-flight
+  // operation that resolved the old table and commits after this fails its
+  // validation of the pinned table read and retries against `next`.
+  const RoutingTable* old = tableTx_.loadAcquire();
+  const RoutingTable* fresh = next.release();
+  stm::atomically(*routingDomain_, stm::TxKind::Normal,
+                  [&](stm::Tx& tx) { tableTx_.write(tx, fresh); });
+  // Doomed stragglers may still *dereference* `old` (and the trees it
+  // names) until their attempt ends; the census drain covers that, with
+  // Tx-composable entry points holding their tickets until the enclosing
+  // transaction fully settled.
+  guard_.drain();
+  delete old;
+  std::lock_guard<std::mutex> lk(reshardStatsMu_);
+  ++reshardStats_.tablePublishes;
+}
+
+void ShardedMap::migrateSlots(trees::SFTree* src, trees::SFTree* dst,
+                              const std::vector<int>& movedSlots) {
+  // Phase 1: dual-route table. From here on, lookups for moved slots check
+  // (dst, src) and inserts land in dst — src can only lose moved-slot keys,
+  // so one scan of src converges.
+  {
+    const RoutingTable* cur = table();
+    auto next = std::make_unique<RoutingTable>();
+    next->version = tableVersion_++;
+    next->slots = cur->slots;
+    for (const int s : movedSlots) {
+      next->slots[static_cast<std::size_t>(s)].owner = dst;
+      next->slots[static_cast<std::size_t>(s)].prev = src;
+    }
+    publishTable(std::move(next));
+  }
+
+  // Phase 2: batched range moves. Each batch extracts up to migrationBatch
+  // matching present keys from src (one amortized in-order walk, logical
+  // deletes) and adopts them into dst inside the same — cross-domain, when
+  // the shards' clocks differ — transaction.
+  std::vector<bool> moved(static_cast<std::size_t>(cfg_.routingSlots), false);
+  for (const int s : movedSlots) moved[static_cast<std::size_t>(s)] = true;
+  const auto pred = [&](Key k) { return moved[slotOf(k)]; };
+  std::vector<trees::SFTree::ExtractedKV> batch;
+  batch.reserve(cfg_.migrationBatch);
+  std::uint64_t keys = 0;
+  std::uint64_t batches = 0;
+  Key cursor = std::numeric_limits<Key>::min();
+  for (bool done = false; !done;) {
+    Key nextLo = cursor;
+    const std::size_t adopted = stm::atomically(
+        src->domain(), stm::TxKind::Normal, [&](stm::Tx& tx) -> std::size_t {
+          const bool complete = src->extractRangeTx(
+              tx, cursor, cfg_.migrationBatch, pred, batch, nextLo);
+          done = complete;
+          if (batch.empty()) return 0;
+          return dst->adoptRangeTx(tx, batch.data(), batch.size());
+        });
+    assert(adopted == batch.size() &&
+           "a migrating key was already present in the destination shard");
+    (void)adopted;
+    keys += batch.size();
+    ++batches;
+    cursor = nextLo;
+  }
+
+  // Phase 3: settled table — the moved slots route solely to dst. In-flight
+  // dual-path operations on the old table remain correct (src provably has
+  // none of the moved keys; the drain retires the table afterwards).
+  {
+    const RoutingTable* cur = table();
+    auto next = std::make_unique<RoutingTable>();
+    next->version = tableVersion_++;
+    next->slots = cur->slots;
+    for (const int s : movedSlots) {
+      next->slots[static_cast<std::size_t>(s)].owner = dst;
+      next->slots[static_cast<std::size_t>(s)].prev = nullptr;
+    }
+    publishTable(std::move(next));
+  }
+
+  std::lock_guard<std::mutex> lk(reshardStatsMu_);
+  reshardStats_.keysMigrated += keys;
+  reshardStats_.migrationBatches += batches;
+}
+
+int ShardedMap::splitShard(int idx) {
+  std::lock_guard<std::mutex> rl(reshardMu_);
+  trees::SFTree* src = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(topoMu_);
+    if (idx < 0 || static_cast<std::size_t>(idx) >= live_.size()) return -1;
+    src = live_[static_cast<std::size_t>(idx)]->tree.get();
+  }
+  // Slots currently owned by src (reshardMu_ excludes concurrent flips).
+  std::vector<int> owned;
+  {
+    const RoutingTable* t = table();
+    for (std::size_t s = 0; s < t->slots.size(); ++s) {
+      if (t->slots[s].owner == src) owned.push_back(static_cast<int>(s));
+    }
+  }
+  if (owned.size() < 2) return -1;  // slot granularity reached
+
+  // Every other owned slot moves: if the heat is a run of adjacent slots,
+  // interleaving spreads it across both halves.
+  std::vector<int> movedSlots;
+  for (std::size_t i = 1; i < owned.size(); i += 2) {
+    movedSlots.push_back(owned[i]);
+  }
+
+  std::unique_ptr<ShardRec> rec = makeShard();
+  trees::SFTree* dst = rec->tree.get();
+  int newIdx;
+  {
+    // The new shard must be live (maintained, visible to stats) before the
+    // routing table can hand it traffic.
+    std::lock_guard<std::mutex> lk(topoMu_);
+    live_.push_back(std::move(rec));
+    newIdx = static_cast<int>(live_.size() - 1);
+  }
+  migrateSlots(src, dst, movedSlots);
+  {
+    std::lock_guard<std::mutex> lk(reshardStatsMu_);
+    ++reshardStats_.splits;
+  }
+  return newIdx;
+}
+
+bool ShardedMap::mergeShards(int victimIdx, int targetIdx) {
+  std::lock_guard<std::mutex> rl(reshardMu_);
+  trees::SFTree* victim = nullptr;
+  trees::SFTree* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(topoMu_);
+    if (victimIdx < 0 || static_cast<std::size_t>(victimIdx) >= live_.size() ||
+        targetIdx < 0 || static_cast<std::size_t>(targetIdx) >= live_.size() ||
+        victimIdx == targetIdx || live_.size() < 2) {
+      return false;
+    }
+    victim = live_[static_cast<std::size_t>(victimIdx)]->tree.get();
+    target = live_[static_cast<std::size_t>(targetIdx)]->tree.get();
+  }
+  std::vector<int> movedSlots;
+  {
+    const RoutingTable* t = table();
+    for (std::size_t s = 0; s < t->slots.size(); ++s) {
+      if (t->slots[s].owner == victim) movedSlots.push_back(static_cast<int>(s));
+    }
+  }
+  migrateSlots(victim, target, movedSlots);
+
+  // Retirement. After the settled-table drain no operation can reach the
+  // victim; what may remain is its maintenance (unregister blocks until the
+  // in-flight pass finishes) and, in PerShard mode, transactions that
+  // joined its domain — the domain census gates on those.
+  std::unique_ptr<ShardRec> retired;
+  {
+    std::lock_guard<std::mutex> lk(topoMu_);
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if ((*it)->tree.get() == victim) {
+        retired = std::move(*it);
+        live_.erase(it);
+        break;
+      }
+    }
+  }
+  assert(retired != nullptr);
+  if (cfg_.scheduler != nullptr) {
+    cfg_.scheduler->unregisterTree(retired->handle);
+  } else {
+    retired->tree->stopMaintenance();
+  }
+  if (retired->domain != nullptr) retired->domain->awaitQuiescence();
+  {
+    // The arena's slabs are freed wholesale with the tree; record what the
+    // retirement drains.
+    const mem::SlabArena& arena = retired->tree->arenaForStats();
+    std::lock_guard<std::mutex> lk(reshardStatsMu_);
+    ++reshardStats_.merges;
+    reshardStats_.retiredArenaBytes +=
+        arena.slabCount() * mem::SlabArena::kSlabBytes;
+    reshardStats_.retiredLiveBlocks +=
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, arena.liveBlocks()));
+  }
+  retired.reset();  // tree (and domain, PerShard) destroyed here
+  return true;
+}
+
+ReshardStats ShardedMap::reshardStats() const {
+  std::lock_guard<std::mutex> lk(reshardStatsMu_);
+  return reshardStats_;
+}
+
+// --------------------------------------------------------------------------
 // Quiesced introspection
 // --------------------------------------------------------------------------
 std::vector<bool> ShardedMap::pauseAllMaintenance() {
-  std::vector<bool> wasRunning(shards_.size(), false);
+  std::vector<bool> wasRunning(live_.size(), false);
   if (cfg_.scheduler != nullptr) {
-    for (const auto h : handles_) cfg_.scheduler->pause(h);
+    for (const auto& rec : live_) cfg_.scheduler->pause(rec->handle);
     return wasRunning;  // unused in scheduler mode
   }
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    wasRunning[i] = shards_[i]->maintenanceRunning();
-    if (wasRunning[i]) shards_[i]->stopMaintenance();
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    wasRunning[i] = live_[i]->tree->maintenanceRunning();
+    if (wasRunning[i]) live_[i]->tree->stopMaintenance();
   }
   return wasRunning;
 }
 
 void ShardedMap::resumeAllMaintenance(const std::vector<bool>& wasRunning) {
   if (cfg_.scheduler != nullptr) {
-    for (const auto h : handles_) cfg_.scheduler->resume(h);
+    for (const auto& rec : live_) cfg_.scheduler->resume(rec->handle);
     return;
   }
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (wasRunning[i]) shards_[i]->startMaintenance();
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (wasRunning[i]) live_[i]->tree->startMaintenance();
   }
 }
 
 std::size_t ShardedMap::size() {
+  std::lock_guard<std::mutex> rl(reshardMu_);
+  std::lock_guard<std::mutex> lk(topoMu_);
   const auto wasRunning = pauseAllMaintenance();
   std::size_t total = 0;
-  for (auto& s : shards_) total += s->abstractSize();
+  for (const auto& rec : live_) total += rec->tree->abstractSize();
   resumeAllMaintenance(wasRunning);
   return total;
 }
 
 int ShardedMap::height() {
+  std::lock_guard<std::mutex> rl(reshardMu_);
+  std::lock_guard<std::mutex> lk(topoMu_);
   const auto wasRunning = pauseAllMaintenance();
   int h = 0;
-  for (auto& s : shards_) h = std::max(h, s->height());
+  for (const auto& rec : live_) h = std::max(h, rec->tree->height());
   resumeAllMaintenance(wasRunning);
   return h;
 }
 
 std::vector<Key> ShardedMap::keysInOrder() {
+  std::lock_guard<std::mutex> rl(reshardMu_);
+  std::lock_guard<std::mutex> lk(topoMu_);
   const auto wasRunning = pauseAllMaintenance();
   std::vector<Key> out;
-  for (auto& s : shards_) {
-    const auto keys = s->keysInOrder();
+  for (const auto& rec : live_) {
+    const auto keys = rec->tree->keysInOrder();
     out.insert(out.end(), keys.begin(), keys.end());
   }
   resumeAllMaintenance(wasRunning);
@@ -239,35 +725,44 @@ std::vector<Key> ShardedMap::keysInOrder() {
 }
 
 void ShardedMap::quiesce() {
+  std::lock_guard<std::mutex> rl(reshardMu_);
+  std::lock_guard<std::mutex> lk(topoMu_);
   const auto wasRunning = pauseAllMaintenance();
-  for (auto& s : shards_) s->quiesceNow();
+  for (const auto& rec : live_) rec->tree->quiesceNow();
   resumeAllMaintenance(wasRunning);
 }
 
 std::int64_t ShardedMap::sizeEstimate() const {
+  std::lock_guard<std::mutex> lk(topoMu_);
   std::int64_t total = 0;
-  for (const auto& s : shards_) total += s->sizeEstimate();
+  for (const auto& rec : live_) total += rec->tree->sizeEstimate();
   return total;
 }
 
 ShardedMapStats ShardedMap::aggregatedStats() const {
+  std::lock_guard<std::mutex> lk(topoMu_);
   ShardedMapStats out;
   // One STM snapshot per distinct clock domain.
   if (cfg_.domainMode == DomainMode::PerShard) {
-    out.domainStats.reserve(domains_.size());
-    for (const auto& d : domains_) out.domainStats.push_back(d->aggregateStats());
+    out.domainStats.reserve(live_.size());
+    for (const auto& rec : live_) {
+      out.domainStats.push_back(rec->domain->aggregateStats());
+    }
   } else {
-    out.domainStats.push_back(shards_.front()->domain().aggregateStats());
+    out.domainStats.push_back(live_.front()->tree->domain().aggregateStats());
   }
   for (const auto& d : out.domainStats) out.stm += d;
-  out.shardSizeEstimates.reserve(shards_.size());
-  out.shardQueueDepths.reserve(shards_.size());
-  for (const auto& s : shards_) {
-    const auto est = s->sizeEstimate();
+  out.shardSizeEstimates.reserve(live_.size());
+  out.shardQueueDepths.reserve(live_.size());
+  out.shardUpdateTicks.reserve(live_.size());
+  for (const auto& rec : live_) {
+    const trees::SFTree& s = *rec->tree;
+    const auto est = s.sizeEstimate();
     out.sizeEstimate += est;
     out.shardSizeEstimates.push_back(est);
-    out.shardQueueDepths.push_back(s->violationQueueDepth());
-    const auto m = s->maintenanceStats();
+    out.shardQueueDepths.push_back(s.violationQueueDepth());
+    out.shardUpdateTicks.push_back(s.updateTicks());
+    const auto m = s.maintenanceStats();
     out.maintenance.traversals += m.traversals;
     out.maintenance.fullSweeps += m.fullSweeps;
     out.maintenance.rotations += m.rotations;

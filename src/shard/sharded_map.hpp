@@ -14,16 +14,39 @@
 // descriptor joins every touched domain and commits with per-domain
 // timestamps under an ordered multi-domain acquisition (see docs/stm.md),
 // which keeps them atomic across shards.
+//
+// --- Dynamic re-sharding ---------------------------------------------------
+// The shard *count* adapts online (the paper's decoupling lifted one level:
+// the topology absorbs load shifts without stopping traffic). Keys hash to
+// a fixed number of routing *slots*; an immutable, epoch-published routing
+// table maps each slot to its owning tree. splitShard() moves half of a hot
+// shard's slots onto a fresh tree; mergeShards() moves all of a cold
+// shard's slots onto a sibling and retires the empty tree (and, in PerShard
+// mode, its clock domain). Migration runs in bounded batched range moves
+// (SFTree::extractRangeTx + adoptRangeTx) inside ordinary cross-domain
+// transactions, so every key is owned by exactly one committed shard at any
+// instant; while a slot migrates its table entry carries both trees and
+// lookups check the pair inside one transaction. The routing-table pointer
+// itself is transactional state in a map-owned routing domain — operations
+// read it inside their transaction and republication is a transactional
+// write, so route staleness is ordinary STM conflict. Memory reclamation
+// (old tables, retired trees) is additionally guarded by an epoch-parity
+// operation census (OpGuard) plus the domain's in-flight transaction
+// census (stm::Domain::awaitQuiescence). See docs/sharding.md ("Dynamic
+// re-sharding").
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "shard/maintenance_scheduler.hpp"
 #include "stm/domain.hpp"
+#include "stm/field.hpp"
 #include "trees/map_interface.hpp"
 #include "trees/sftree.hpp"
 
@@ -38,6 +61,16 @@ enum class DomainMode : std::uint8_t { Shared, PerShard };
 
 struct ShardedMapConfig {
   int shards = 4;
+  // Routing granularity: keys hash onto this many slots, slots map to
+  // shards. The slot count is fixed for the map's lifetime and bounds the
+  // shard count (shards <= routingSlots); splits/merges only reassign
+  // slots. More slots = finer re-sharding granularity at the cost of a
+  // (slightly) larger routing table per lookup.
+  int routingSlots = 64;
+  // Keys moved per migration transaction during a split/merge. Larger
+  // batches amortize the cross-domain commit better but widen the conflict
+  // window against concurrent mutators.
+  std::size_t migrationBatch = 64;
   // Per-shard tree configuration. When a scheduler is supplied,
   // tree.startMaintenance is ignored: shards are built externally
   // maintained and registered with the scheduler instead. tree.domain is
@@ -58,10 +91,12 @@ struct ShardedMapConfig {
   stm::Config stmConfig{};
 };
 
-// Aggregated view over all shards. The total sizeEstimate is exact once all
-// operations have returned; the per-shard estimates can drift under
-// cross-shard moves (which bypass the shards' own counters) but their sum
-// cannot.
+// Aggregated view over all shards. The total sizeEstimate — and, since the
+// map itself settles cross-shard moves and migration batches against the
+// involved trees' counters, each per-shard estimate — is exact once all
+// operations have returned. (Per-shard exactness is load-bearing under
+// re-sharding: a merge destroys a tree's counter with the tree, so any
+// residual bias would leak into the aggregate permanently.)
 struct ShardedMapStats {
   std::int64_t sizeEstimate = 0;
   std::vector<std::int64_t> shardSizeEstimates;
@@ -70,11 +105,39 @@ struct ShardedMapStats {
   // scheduler prioritizes on, exposed for dashboards/tests. The summed
   // queue counters (enqueued/drained/latency) are in maintenance.queue.
   std::vector<std::uint64_t> shardQueueDepths;
+  // Per-shard monotonic update counters (racy snapshots) — the traffic
+  // gauge the ReshardController differentiates between samples.
+  std::vector<std::uint64_t> shardUpdateTicks;
   // STM statistics per clock domain: one entry per shard in PerShard mode,
   // a single entry for the shared domain otherwise. Snapshots are exact
   // only while no transactions are in flight.
   std::vector<stm::ThreadStats> domainStats;
   stm::ThreadStats stm;  // sum over domainStats
+};
+
+// Re-sharding mechanism counters (lifetime totals).
+struct ReshardStats {
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t keysMigrated = 0;
+  std::uint64_t migrationBatches = 0;
+  std::uint64_t tablePublishes = 0;
+  // Arena footprint (bytes) and still-live blocks of the trees retired by
+  // merges, sampled just before destruction (the "drain" the retirement
+  // frees wholesale).
+  std::uint64_t retiredArenaBytes = 0;
+  std::uint64_t retiredLiveBlocks = 0;
+};
+
+// Per-shard load sample for re-sharding policy (see ReshardController).
+struct ShardLoadSample {
+  // Stable identity across samples while the shard lives (the tree's
+  // address — shard *indexes* shift under splits/merges).
+  const void* id = nullptr;
+  int index = 0;  // current index, valid until the next split/merge
+  std::uint64_t updateTicks = 0;
+  std::uint64_t queueDepth = 0;
+  std::int64_t sizeEstimate = 0;
 };
 
 class ShardedMap final : public trees::ITransactionalMap {
@@ -100,6 +163,9 @@ class ShardedMap final : public trees::ITransactionalMap {
   bool eraseTx(stm::Tx& tx, Key k) override;
   bool containsTx(stm::Tx& tx, Key k) override;
   std::optional<Value> getTx(stm::Tx& tx, Key k) override;
+  // Transaction-composable move (the body behind move(); public siblings
+  // of the other *Tx entry points compose the same way).
+  bool moveTx(stm::Tx& tx, Key from, Key to);
 
   // Consistent snapshot over every shard (hash partitioning scatters any
   // key range across all of them).
@@ -107,26 +173,29 @@ class ShardedMap final : public trees::ITransactionalMap {
   std::size_t countRange(Key lo, Key hi) override;
 
   // --- quiesced introspection ----------------------------------------------
+  // Serialized against re-sharding (they take the reshard mutex), so they
+  // are safe to call while a ReshardController is attached — but the usual
+  // quiesced-use contract vs concurrent abstract operations still applies.
   std::size_t size() override;
   int height() override;  // max shard height
   std::vector<Key> keysInOrder() override;
   void quiesce() override;
 
   // --- sharding-specific surface -------------------------------------------
-  int shardCount() const { return static_cast<int>(shards_.size()); }
+  int shardCount() const;
   int shardIndexFor(Key k) const;
-  trees::SFTree& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  // The tree currently owning shard index i. The reference is valid only
+  // while no concurrent split/merge can retire it (tests / quiesced use).
+  trees::SFTree& shard(int i);
 
   // The clock domain shard i commits against (shard i's own domain in
   // PerShard mode; the shared one otherwise).
-  stm::Domain& domainOf(int i) {
-    return shards_[static_cast<std::size_t>(i)]->domain();
-  }
+  stm::Domain& domainOf(int i) { return shard(i).domain(); }
   bool perShardDomains() const {
     return cfg_.domainMode == DomainMode::PerShard;
   }
   // Every distinct domain the map's transactions touch (deduplicated; one
-  // entry in Shared mode, shards() entries in PerShard mode). Useful for
+  // entry in Shared mode, one per live shard in PerShard mode). Useful for
   // resetting/aggregating statistics around a benchmark run.
   std::vector<stm::Domain*> domains();
 
@@ -135,27 +204,197 @@ class ShardedMap final : public trees::ITransactionalMap {
   std::int64_t sizeEstimate() const;
   ShardedMapStats aggregatedStats() const;
 
+  // --- dynamic re-sharding --------------------------------------------------
+  int routingSlots() const { return cfg_.routingSlots; }
+  // Current slot -> shard-index assignment (racy snapshot; slots mid-
+  // migration report their new owner).
+  std::vector<int> slotOwners() const;
+  // Racy per-shard load snapshot for the re-sharding policy.
+  std::vector<ShardLoadSample> loadSamples() const;
+
+  // Splits shard `idx`: half of its routing slots (every other one, so a
+  // hot slot run spreads) migrate onto a freshly created tree (and domain,
+  // in PerShard mode) while traffic continues. Blocks until the migration
+  // has settled. Returns the new shard's index, or -1 when the shard owns
+  // a single slot (cannot split further) or `idx` is stale/out of range.
+  int splitShard(int idx);
+  // Migrates every slot of shard `victimIdx` onto shard `targetIdx`, then
+  // retires the empty tree (unregisters maintenance, awaits domain
+  // quiescence in PerShard mode, frees the arena wholesale). Returns false
+  // when either index is stale/out of range or they are equal.
+  bool mergeShards(int victimIdx, int targetIdx);
+
+  ReshardStats reshardStats() const;
+
  private:
-  trees::SFTree& shardFor(Key k) { return *shards_[hashShard(k)]; }
-  std::size_t hashShard(Key k) const;
+  // --- routing ---------------------------------------------------------------
+  // One slot's route. While the slot migrates, `prev` carries the tree keys
+  // may still live in: lookups check the (owner, prev) pair inside one
+  // transaction, inserts go to `owner` once `prev` provably lacks the key,
+  // so the mover's scan of `prev` converges (it can only lose such keys).
+  struct RouteEntry {
+    trees::SFTree* owner = nullptr;
+    trees::SFTree* prev = nullptr;
+  };
+  // Immutable once published; replaced wholesale. The table *pointer* is
+  // transactional state (tableTx_): every operation reads it inside its
+  // transaction, the re-sharder replaces it with a transactional write, so
+  // an operation that resolved a route and commits after a republication
+  // fails ordinary STM validation and retries against the new table. This
+  // is the only sound ordering: any non-transactional scheme (we tried an
+  // epoch census plus write-locking the key's position in the migration
+  // source) leaves a window where an in-flight operation routed by the old
+  // table serializes *around* the new table's dual-path decisions — e.g. a
+  // concurrent insert of an unrelated key relocates this key's insertion
+  // point past the locked position, and a stale-routed insert commits a
+  // duplicate without touching anything the new-route transaction read or
+  // wrote. The previous table's memory is freed only after the operation
+  // census drained (readers may still dereference it mid-attempt even
+  // though their commits are doomed).
+  struct RoutingTable {
+    std::uint64_t version = 0;
+    std::vector<RouteEntry> slots;
+  };
+
+  // Epoch-parity operation census: every map operation holds a ticket from
+  // table load to the end of the operation (deferred to transaction end for
+  // the Tx-composable entry points, which outlive the call). drain() flips
+  // the parity and waits for the old parity's tickets to expire — after
+  // which no operation can still be using a previously published table or
+  // a tree it referenced. Stripes keep the counters off one shared line;
+  // seq_cst on enter/drain closes the load-epoch/increment race (an enter
+  // that re-reads an unchanged epoch is ordered before the drain's flip).
+  class OpGuard {
+   public:
+    using Ticket = std::uint32_t;  // (stripe << 1) | parity
+    Ticket enter() {
+      const std::size_t s = stm::threadStripe(kStripes);
+      for (;;) {
+        const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+        std::atomic<std::uint64_t>& c = stripes_[s].n[e & 1];
+        c.fetch_add(1, std::memory_order_seq_cst);
+        if (epoch_.load(std::memory_order_seq_cst) == e) {
+          return static_cast<Ticket>((s << 1) | (e & 1));
+        }
+        // Raced a flip: the drainer may already have sampled our slot as
+        // empty. Move to the new parity.
+        c.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
+    void exit(Ticket t) {
+      stripes_[t >> 1].n[t & 1].fetch_sub(1, std::memory_order_seq_cst);
+    }
+    void drain();
+
+   private:
+    static constexpr std::size_t kStripes = 16;
+    struct alignas(64) Stripe {
+      std::atomic<std::uint64_t> n[2] = {{0}, {0}};
+    };
+    Stripe stripes_[kStripes];
+    std::atomic<std::uint64_t> epoch_{0};
+  };
+
+  // RAII ticket for the self-contained operations (the transaction, if any,
+  // begins and ends inside the call).
+  class OpTicket {
+   public:
+    explicit OpTicket(OpGuard& g) : g_(g), t_(g.enter()) {}
+    ~OpTicket() { g_.exit(t_); }
+    OpTicket(const OpTicket&) = delete;
+    OpTicket& operator=(const OpTicket&) = delete;
+
+   private:
+    OpGuard& g_;
+    OpGuard::Ticket t_;
+  };
+
+  // One live shard: the tree, its owned clock domain (PerShard mode), and
+  // its scheduler registration.
+  struct ShardRec {
+    std::unique_ptr<stm::Domain> domain;  // null in Shared mode
+    std::unique_ptr<trees::SFTree> tree;
+    MaintenanceScheduler::TreeHandle handle =
+        MaintenanceScheduler::kInvalidHandle;
+  };
+
+  std::size_t slotOf(Key k) const;
+  // Non-transactional peek (root-domain/kind selection, diagnostics,
+  // quiesced walks). Transactional bodies must use routeTx instead.
+  const RoutingTable* table() const { return tableTx_.loadAcquire(); }
+  // The transactional route read: joins the routing domain and reads the
+  // table pointer, pinned (elastic window cuts must never evict it). Every
+  // operation body calls this once per attempt, which also guarantees a
+  // zero-logging read-only attempt always has a first read before any tree
+  // read — so a stale later read restarts the body (re-resolving the
+  // route) instead of sliding the snapshot under a stale one.
+  const RoutingTable* routeTx(stm::Tx& tx) {
+    stm::DomainScope scope(tx, *routingDomain_);
+    return tableTx_.readPinned(tx);
+  }
+
+  // --- dual-path (migration-aware) transactional pieces ---------------------
+  // Each resolves against one RouteEntry; when e.prev is set they compose
+  // both trees inside the caller's transaction. `hit` (erase) reports the
+  // tree the key was actually removed from (size-estimate bookkeeping).
+  static bool entryContainsTx(stm::Tx& tx, const RouteEntry& e, Key k);
+  static std::optional<Value> entryGetTx(stm::Tx& tx, const RouteEntry& e,
+                                         Key k);
+  static bool entryInsertTx(stm::Tx& tx, const RouteEntry& e, Key k, Value v);
+  static bool entryEraseTx(stm::Tx& tx, const RouteEntry& e, Key k,
+                           trees::SFTree** hit);
+
+  // Transaction kind for a single-key update against `e`: the tree's own
+  // rule on the fast path, but always Normal while the slot migrates — the
+  // dual-path checks (contains-in-prev before insert-into-owner) rely on
+  // full read-set validation, which elastic window cuts would skip.
+  static stm::TxKind entryUpdateKind(const RouteEntry& e) {
+    return e.prev == nullptr ? e.owner->updateTxKind() : stm::TxKind::Normal;
+  }
+
+  // Distinct trees referenced by `t` (owners first, then migration
+  // sources), for whole-map transactional scans.
+  static std::vector<trees::SFTree*> distinctTrees(const RoutingTable& t);
+
+  // --- re-sharding machinery -------------------------------------------------
+  std::unique_ptr<ShardRec> makeShard();
+  // Publishes `next` as the routing table and blocks until no operation
+  // can still see the old one; deletes it.
+  void publishTable(std::unique_ptr<RoutingTable> next);
+  // Moves every present key of `movedSlots` from src to dst in batched
+  // range-move transactions, with the intermediate dual-route table
+  // published first and the settled table after. reshardMu_ held.
+  void migrateSlots(trees::SFTree* src, trees::SFTree* dst,
+                    const std::vector<int>& movedSlots);
 
   // Pause/resume restructuring on every shard (scheduler entries or
-  // dedicated threads) around quiesced walks.
+  // dedicated threads) around quiesced walks. topoMu_ held by caller.
   std::vector<bool> pauseAllMaintenance();
   void resumeAllMaintenance(const std::vector<bool>& wasRunning);
 
-  stm::TxKind updateTxKind() const;
   // The domain map-level (multi-shard) transactions are rooted in: the
-  // shared domain, or the first shard's domain in PerShard mode (the
-  // remaining domains are joined as the transaction touches them).
-  stm::Domain& homeDomain() { return shards_.front()->domain(); }
+  // first slot's owner (the remaining domains are joined as the
+  // transaction touches them).
+  stm::Domain& homeDomain() { return table()->slots.front().owner->domain(); }
 
   ShardedMapConfig cfg_;
-  // Owned per-shard clock domains (PerShard mode; empty otherwise).
-  // Declared before shards_ so they outlive the trees during destruction.
-  std::vector<std::unique_ptr<stm::Domain>> domains_;
-  std::vector<std::unique_ptr<trees::SFTree>> shards_;
-  std::vector<MaintenanceScheduler::TreeHandle> handles_;
+  // Serializes split/merge against each other and against the quiesced
+  // introspection walks. Ordered before topoMu_.
+  mutable std::mutex reshardMu_;
+  // Guards live_ (the shard list). Never held while waiting on drains.
+  mutable std::mutex topoMu_;
+  // Dedicated clock domain guarding exactly one word: the routing-table
+  // pointer. Read-shared by every operation, written only at publications
+  // (rare), so it adds no write contention; it must share the trees' TM
+  // backend (one transaction spans both). Declared before the shards so it
+  // outlives their teardown.
+  std::unique_ptr<stm::Domain> routingDomain_;
+  stm::TxField<const RoutingTable*> tableTx_{nullptr};
+  std::vector<std::unique_ptr<ShardRec>> live_;
+  mutable OpGuard guard_;  // const accessors take tickets too
+  std::uint64_t tableVersion_ = 0;  // reshardMu_ (and constructor) only
+  mutable std::mutex reshardStatsMu_;
+  ReshardStats reshardStats_;
 };
 
 }  // namespace sftree::shard

@@ -147,6 +147,19 @@ class HookVec {
     for (auto& h : overflow_) h();
   }
 
+  // Invokes every hook in REVERSE registration order — guard-release
+  // semantics: tx-end hooks are typically completion signals for scopes
+  // the operation entered in order (a map-level census ticket, then the
+  // tree-level quiescence guards inside it), and an outer scope must not
+  // be released while an inner scope's signal is still pending: the
+  // census ticket is exactly what keeps the tree (and its registry) alive
+  // for the inner hook to touch.
+  void runAllReverse() {
+    for (auto it = overflow_.rbegin(); it != overflow_.rend(); ++it) (*it)();
+    const std::size_t n = count_ < kInlineHooks ? count_ : kInlineHooks;
+    for (std::size_t i = n; i-- > 0;) (*slot(i))();
+  }
+
   void clear() {
     const std::size_t n = count_ < kInlineHooks ? count_ : kInlineHooks;
     for (std::size_t i = 0; i < n; ++i) slot(i)->~SmallHook();

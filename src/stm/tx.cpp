@@ -79,6 +79,7 @@ void Tx::begin(Domain& d, TxKind kind, ThreadStats& stats) {
   views_.clear();
   views_.push_back(DomainView{&d});
   curView_ = 0;
+  d.txEnter();  // released by exitDomainsInFlight at attempt end
   if (backend_ == TmBackend::NOrec) {
     // NOrec has no per-location metadata; elastic windows do not apply.
     elasticPhase_ = false;
@@ -101,6 +102,7 @@ void Tx::begin(Domain& d, TxKind kind, ThreadStats& stats) {
   speculativeAllocs_.clear();
   commitHooks_.clear();
   txEndHooks_.clear();
+  settledHooks_.clear();
   writeSigs_ = 0;
   idxMask_ = 0;
   window_.clear();
@@ -152,7 +154,12 @@ std::size_t Tx::enterDomain(Domain& d) {
       }
     }
   }
+  // Enter the census only once the view is recorded: exitDomainsInFlight
+  // releases exactly the domains present in views_, and both the RO
+  // restart above and push_back itself (allocation) may throw — txEnter is
+  // the one step here that cannot.
   views_.push_back(v);
+  d.txEnter();  // released by exitDomainsInFlight at attempt end
   curView_ = views_.size() - 1;
   if (backend_ == TmBackend::NOrec) {
     if (!valueLog_.empty()) norecValidate();
@@ -187,8 +194,14 @@ void Tx::onAbort() {
   } else if (stats_ != nullptr) {
     stats_->onAbort();
   }
+  exitDomainsInFlight();
   active_ = false;
   runTxEndHooks();
+  runSettledHooks();
+}
+
+void Tx::exitDomainsInFlight() {
+  for (const DomainView& v : views_) v.domain->txExit();
 }
 
 void Tx::onAbortDelete(void* ptr, void (*deleter)(void*)) {
@@ -647,9 +660,10 @@ void Tx::commit() {
     flushReadStats();
     stats_->onCommit();
     if (ro_) stats_->onRoCommit();
+    exitDomainsInFlight();
     active_ = false;
     runTxEndHooks();
-    runCommitHooks();
+    runCommitAndSettledHooks();
     return;
   }
 
@@ -754,9 +768,10 @@ void Tx::commit() {
   speculativeAllocs_.clear();  // published: ownership transferred
   flushReadStats();
   stats_->onCommit();
+  exitDomainsInFlight();
   active_ = false;
   runTxEndHooks();
-  runCommitHooks();
+  runCommitAndSettledHooks();
 }
 
 // --- NOrec backend (Dalessandro, Spear, Scott — PPoPP 2010) ----------------
@@ -910,9 +925,10 @@ void Tx::norecCommit() {
     flushReadStats();
     stats_->onCommit();
     if (ro_) stats_->onRoCommit();
+    exitDomainsInFlight();
     active_ = false;
     runTxEndHooks();
-    runCommitHooks();
+    runCommitAndSettledHooks();
     return;
   }
   // Acquire every written domain's sequence lock in canonical order (the
@@ -958,18 +974,41 @@ void Tx::norecCommit() {
   speculativeAllocs_.clear();
   flushReadStats();
   stats_->onCommit();
+  exitDomainsInFlight();
   active_ = false;
   runTxEndHooks();
-  runCommitHooks();
+  runCommitAndSettledHooks();
 }
 
 void Tx::runTxEndHooks() {
   // Contract: tx-end hooks are completion signals — they must not start
   // transactions or register further hooks (onCommit is the hook point for
   // work that composes). HookVec keeps its storage across transactions (a
-  // guard hook fires on essentially every transaction).
-  txEndHooks_.runAll();
+  // guard hook fires on essentially every transaction). Reverse order:
+  // hooks are scope releases, and an outer scope (a ShardedMap census
+  // ticket) must outlive the inner scopes registered after it (the trees'
+  // quiescence-GC guards) — releasing the ticket first would let a
+  // concurrent shard retirement free the very registry the inner hook is
+  // about to signal.
+  txEndHooks_.runAllReverse();
   txEndHooks_.clear();
+}
+
+void Tx::runSettledHooks() {
+  if (settledHooks_.empty()) return;
+  HookVec hooks(std::move(settledHooks_));
+  settledHooks_.clear();
+  hooks.runAllReverse();
+}
+
+void Tx::runCommitAndSettledHooks() {
+  // Steal the settled hooks before the commit hooks run: a commit hook may
+  // start a new transaction, and begin() resets this descriptor's hook
+  // storage.
+  HookVec settled(std::move(settledHooks_));
+  settledHooks_.clear();
+  runCommitHooks();
+  settled.runAllReverse();
 }
 
 void Tx::runCommitHooks() {

@@ -186,10 +186,24 @@ class alignas(64) Tx {
   // the transaction's final value-based revalidation (a NOrec commit
   // re-reads every logged address; nodes referenced by an already-returned
   // operation must not be freed before that). Re-registered by the
-  // operation body on every retry.
+  // operation body on every retry. Hooks run in reverse registration order
+  // (see runTxEndHooks).
   template <typename F>
   void onTxEnd(F&& hook) {
     txEndHooks_.push(std::forward<F>(hook));
+  }
+
+  // Registers an action that runs once the attempt has fully *settled* —
+  // after the tx-end hooks AND, on commit, after every commit hook. This
+  // is the outermost release point: ShardedMap's operation-census tickets
+  // live here, because the commit hooks they must outlive (violation-queue
+  // publishes, size-estimate settlements) still touch tree memory that a
+  // shard retirement frees the moment the census drains. Run in reverse
+  // registration order; like tx-end hooks they must not start transactions
+  // or register further hooks. Re-registered by the body on every retry.
+  template <typename F>
+  void onSettled(F&& hook) {
+    settledHooks_.push(std::forward<F>(hook));
   }
 
   // The root domain's (thread, domain) statistics slot. Precondition:
@@ -296,6 +310,12 @@ class alignas(64) Tx {
   void elasticValidateWindow();
   void foldElasticWindowIntoReadSet();
 
+  // Drops the +1 this attempt holds on every joined domain's in-flight
+  // census (Domain::txEnter). Runs at attempt end, after the final
+  // validation reads — the census is what Domain::awaitQuiescence gates
+  // domain retirement on.
+  void exitDomainsInFlight();
+
   void acquireOrecForWrite(WriteEntry& we);
   void releaseHeldLocks(bool restoreOldVersion);
   void releaseNorecSeqLocks();
@@ -304,6 +324,11 @@ class alignas(64) Tx {
   void endWritebacks();
   void runCommitHooks();
   void runTxEndHooks();
+  // Runs the commit hooks and then the settled hooks, stealing the latter
+  // first: a commit hook may start a new transaction, whose begin() resets
+  // this descriptor's hook storage.
+  void runCommitAndSettledHooks();
+  void runSettledHooks();
   void flushReadStats() {
     if (pendingReads_ != 0) {
       stats_->onReadBatch(pendingReads_);
@@ -381,6 +406,7 @@ class alignas(64) Tx {
   std::vector<AllocEntry> speculativeAllocs_;
   HookVec commitHooks_;
   HookVec txEndHooks_;
+  HookVec settledHooks_;
   std::uint64_t writeSigs_ = 0;  // bloom signature over write addresses
 
   // Open-addressing indexes over writeSet_, active once the write set

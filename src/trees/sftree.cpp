@@ -274,6 +274,118 @@ std::size_t SFTree::countRange(Key lo, Key hi) {
   return r;
 }
 
+// --------------------------------------------------------------------------
+// Bulk relocation (shard migration): extract = one in-order walk that
+// logically deletes and collects matching keys; adopt = batch insert. Both
+// compose into the caller's (cross-domain) transaction, so a batch moves
+// atomically: no reader can see a migrating key in both trees or in
+// neither.
+// --------------------------------------------------------------------------
+struct SFTree::ExtractCtx {
+  std::size_t maxN;
+  std::size_t examineLimit;
+  std::size_t examined = 0;
+  const std::function<bool(Key)>* pred;
+  std::vector<ExtractedKV>* out;
+  Key nextLo = 0;
+};
+
+bool SFTree::extractWalk(stm::Tx& tx, SFNode* n, Key lo, ExtractCtx& c) {
+  if (n == nullptr) return true;
+  if (lo < n->key) {
+    if (!extractWalk(tx, n->left.read(tx), lo, c)) return false;
+  }
+  if (n->key >= lo) {
+    // Budget check sits on the key boundary so the resume cursor is exact:
+    // every present key in [lo, nextLo) has been examined, nothing past it.
+    if (c.out->size() >= c.maxN || c.examined >= c.examineLimit) {
+      c.nextLo = n->key;
+      return false;
+    }
+    ++c.examined;
+    if ((*c.pred)(n->key) && !n->deleted.read(tx)) {
+      c.out->push_back(ExtractedKV{n->key, n->value.read(tx)});
+      n->deleted.write(tx, true);
+      // The logically deleted node is a physical-removal candidate for this
+      // tree's maintenance, exactly as after eraseTx.
+      captureViolation(tx, n->key);
+    }
+  }
+  return extractWalk(tx, n->right.read(tx), lo, c);
+}
+
+bool SFTree::extractRangeTx(stm::Tx& tx, Key lo, std::size_t maxN,
+                            const std::function<bool(Key)>& pred,
+                            std::vector<ExtractedKV>& out, Key& nextLo) {
+  assert(tx.kind() != stm::TxKind::Elastic &&
+         "extractRangeTx requires a Normal transaction (no pinning here)");
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
+  out.clear();  // the enclosing transaction may retry this attempt
+  ExtractCtx c;
+  c.maxN = maxN;
+  // Bound the read set even when pred rejects a long stretch of keys: a
+  // stopped-early walk just resumes from nextLo in the next batch.
+  c.examineLimit = std::max<std::size_t>(4 * maxN, 256);
+  c.pred = &pred;
+  c.out = &out;
+  const bool complete = extractWalk(tx, root_->left.read(tx), lo, c);
+  if (!out.empty()) {
+    const auto m = static_cast<std::int64_t>(out.size());
+    tx.onCommit([this, m] {
+      sizeEstimate_.fetch_sub(m, std::memory_order_relaxed);
+    });
+    updateTicks_.fetch_add(out.size(), std::memory_order_relaxed);
+  }
+  if (!complete) nextLo = c.nextLo;
+  return complete;
+}
+
+bool SFTree::reserveAbsentTx(stm::Tx& tx, Key k) {
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
+  SFNode* curr = find(tx, k, /*pin=*/true);
+  if (curr->key == k) {
+    if (!curr->deleted.readPinned(tx)) return false;  // present
+    // Same elastic-cut discipline as eraseTx/the revive path: the removal
+    // flag is pinned so a concurrent rotation-copy stays a conflict.
+    if (cfg_.ops == OpsVariant::Optimized &&
+        curr->removed.readPinned(tx) != RemState::NotRemoved) {
+      tx.restart();
+    }
+    // Value-preserving write: locks the revive point against a concurrent
+    // insert flipping the flag back.
+    curr->deleted.write(tx, true);
+    return true;
+  }
+  // Absent: find() pinned the null child k would link into; re-write it
+  // with its current (null) value so a concurrent insert of k collides
+  // write-write instead of committing after us.
+  if (k < curr->key) {
+    curr->left.write(tx, curr->left.readPinned(tx));
+  } else {
+    curr->right.write(tx, curr->right.readPinned(tx));
+  }
+  return true;
+}
+
+std::size_t SFTree::adoptRangeTx(stm::Tx& tx, const ExtractedKV* kvs,
+                                 std::size_t n) {
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
+  std::size_t inserted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (insertTx(tx, kvs[i].key, kvs[i].value)) ++inserted;
+  }
+  if (inserted != 0) {
+    const auto m = static_cast<std::int64_t>(inserted);
+    tx.onCommit([this, m] {
+      sizeEstimate_.fetch_add(m, std::memory_order_relaxed);
+    });
+  }
+  return inserted;
+}
+
 // Elastic cuts are only safe for Algorithm 2's updates (see SFTreeConfig).
 // ReadOnly is never an update kind: it would promote on the first write of
 // every attempt.

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -165,6 +166,48 @@ class SFTree {
   std::size_t countRangeTx(stm::Tx& tx, Key lo, Key hi);
   std::size_t countRange(Key lo, Key hi);
 
+  // --- bulk relocation (shard migration) ------------------------------------
+  // One extracted (key, value) pair of a batched range move.
+  struct ExtractedKV {
+    Key key;
+    Value value;
+  };
+  // Migration source half of a batched range move: one in-order
+  // transactional walk from `lo` upward that collects and logically deletes
+  // the present keys `pred` accepts — a single amortized descent instead of
+  // one find() per key. The walk stops after `maxN` extractions (or an
+  // internal examine budget, so a pred that rejects a long stretch cannot
+  // grow one transaction's read set without bound). `out` is cleared first:
+  // the enclosing transaction may retry, and each attempt must rebuild it.
+  // Returns true when the walk exhausted the key space; false when it
+  // stopped early, with `nextLo` set to the first key not yet examined
+  // (resume cursor). Must run under TxKind::Normal (elastic window cuts
+  // could evict the walk's position reads; there is no pinning here).
+  bool extractRangeTx(stm::Tx& tx, Key lo, std::size_t maxN,
+                      const std::function<bool(Key)>& pred,
+                      std::vector<ExtractedKV>& out, Key& nextLo);
+  // Migration destination half: inserts every pair inside the enclosing
+  // transaction — the per-key link-in is unavoidable, but one transaction
+  // (and one cross-domain join) amortizes over the whole batch. Returns the
+  // number actually inserted; a key already present is skipped, which the
+  // caller should treat as an invariant violation (a migrating key lives in
+  // exactly one committed shard).
+  std::size_t adoptRangeTx(stm::Tx& tx, const ExtractedKV* kvs,
+                           std::size_t n);
+  // Exclusive absence check: returns false when k is present; otherwise
+  // *write-locks* k's position (a value-preserving write to the null child
+  // or the deleted flag, pinned like an update's position reads) and
+  // returns true. Unlike containsTx the conclusion survives an elastic
+  // transaction's window cuts (pins + the write fold the window), and a
+  // concurrent insert of k collides write-write at commit instead of
+  // serializing after us. ShardedMap's migration-window insert path uses
+  // this as its safe-under-any-TxKind "prev lacks the key" check. (Note:
+  // position locks alone cannot order routing-table transitions — an
+  // unrelated insert can relocate k's insertion point past the reserved
+  // position; cross-table ordering comes from the map's transactional
+  // table read.)
+  bool reserveAbsentTx(stm::Tx& tx, Key k);
+
   // --- maintenance control --------------------------------------------------
   void startMaintenance();
   void stopMaintenance();
@@ -209,6 +252,16 @@ class SFTree {
   std::int64_t sizeEstimate() const {
     return sizeEstimate_.load(std::memory_order_relaxed);
   }
+  // Estimate adjustment hook for composed multi-tree operations (e.g.
+  // ShardedMap's migration-window single-key paths) that go through the
+  // Tx-composable entry points and so bypass the insert/erase wrappers'
+  // own bookkeeping.
+  void bumpSizeEstimate(std::int64_t d) {
+    sizeEstimate_.fetch_add(d, std::memory_order_relaxed);
+  }
+  // Read-only view of the node arena (shard-retirement diagnostics: the
+  // slabs this tree's destruction frees wholesale).
+  const mem::SlabArena& arenaForStats() const { return arena_.raw(); }
 
   const SFTreeConfig& config() const { return cfg_; }
   // The STM clock domain this tree runs on (the configured one, or the
@@ -287,6 +340,12 @@ class SFTree {
   // Publishes a violation at key k when this update transaction commits.
   void captureViolation(stm::Tx& tx, Key k);
   void retireNode(SFNode* n);
+
+  // In-order walker behind extractRangeTx. Returns true to keep going,
+  // false once a budget stopped the walk (c.nextLo set to the first
+  // unexamined key).
+  struct ExtractCtx;
+  bool extractWalk(stm::Tx& tx, SFNode* n, Key lo, ExtractCtx& c);
 
   static void deleteNode(void* p) { mem::NodeArena<SFNode>::destroy(p); }
 
