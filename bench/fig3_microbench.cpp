@@ -10,7 +10,9 @@
 
 #include "bench_core/cli.hpp"
 #include "bench_core/harness.hpp"
+#include "bench_core/obs_support.hpp"
 #include "bench_core/report.hpp"
+#include "obs/stats_bridge.hpp"
 #include "stm/runtime.hpp"
 #include "trees/map_interface.hpp"
 
@@ -20,6 +22,11 @@ namespace stm = sftree::stm;
 
 int main(int argc, char** argv) {
   bench::Cli cli(argc, argv);
+  // --obs / --obs-trace / --obs-report-ms: metrics snapshot, event trace,
+  // periodic JSON reporting over the default domain (see obs_support.hpp).
+  bench::ObsSession obsSession(cli);
+  const auto obsReg = sftree::obs::registerDomainMetrics(
+      obsSession.registry(), "stm", stm::defaultDomain());
   const auto threadCounts = cli.intList("threads", {1, 2, 4});
   const auto updates = cli.realList("updates", {5, 10, 15, 20});
   const int durationMs = static_cast<int>(cli.integer("duration-ms", 150));

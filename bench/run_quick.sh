@@ -6,18 +6,21 @@
 #    consolidated into BENCH_readpath.json;
 #  * maintenance path (ablation_maintenance --ab-mode: full-sweep vs
 #    targeted violation-queue maintenance, interleaved reps) consolidated
-#    into BENCH_maintpath.json.
+#    into BENCH_maintpath.json;
+#  * observability overhead (obs_overhead: off vs always-on metrics vs
+#    enabled trace, interleaved reps) written to BENCH_obs.json.
 #
-#   bench/run_quick.sh [BUILD_DIR] [READPATH_JSON] [MAINTPATH_JSON]
+#   bench/run_quick.sh [BUILD_DIR] [READPATH_JSON] [MAINTPATH_JSON] [OBS_JSON]
 #
 # Defaults: BUILD_DIR=build, READPATH_JSON=BENCH_readpath.json,
-# MAINTPATH_JSON=BENCH_maintpath.json (in the current directory). Requires
-# jq for the merge.
+# MAINTPATH_JSON=BENCH_maintpath.json, OBS_JSON=BENCH_obs.json (in the
+# current directory). Requires jq for the merge.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_readpath.json}"
 OUT_MAINT="${3:-BENCH_maintpath.json}"
+OUT_OBS="${4:-BENCH_obs.json}"
 
 # Fail fast, before any partial output exists: a missing tool or bench
 # binary used to surface as a half-written JSON that the schema checker
@@ -33,7 +36,8 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   exit 1
 fi
 missing=()
-for bin in fig3_microbench fig5b_move table1_reads ablation_maintenance; do
+for bin in fig3_microbench fig5b_move table1_reads ablation_maintenance \
+           obs_overhead; do
   [[ -x "$BUILD_DIR/$bin" ]] || missing+=("$bin")
 done
 if (( ${#missing[@]} > 0 )); then
@@ -105,3 +109,13 @@ jq -n \
 mv "$OUT_MAINT.tmp.$$" "$OUT_MAINT"
 
 echo "consolidated report written to $OUT_MAINT"
+
+# Observability overhead gate: off vs always-on metrics vs enabled trace on
+# one workload, interleaved reps. obs_overhead writes the tagged report
+# itself; copy it out atomically like the others.
+"$BUILD_DIR/obs_overhead" --reps=9 --threads=2 --duration-ms=200 \
+  --size-log=16 --json="$TMP/obs.json" >/dev/null
+cp "$TMP/obs.json" "$OUT_OBS.tmp.$$"
+mv "$OUT_OBS.tmp.$$" "$OUT_OBS"
+
+echo "overhead report written to $OUT_OBS"

@@ -4,12 +4,16 @@
 // traversals expensive.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/stats_bridge.hpp"
 #include "stm/stm.hpp"
 
+namespace obs = sftree::obs;
 namespace stm = sftree::stm;
 
 namespace {
@@ -187,22 +191,15 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  // RO/RW breakdown over the whole run (satellite of the read-path
-  // overhaul): how many commits took the zero-logging path, how often a
-  // stale RO snapshot forced a body restart, and what write-set lookups
-  // cost on average.
-  const auto agg = stm::defaultDomain().aggregateStats();
-  std::printf(
-      "\nSTM read-path breakdown (default domain):\n"
-      "  commits            %llu (ro: %llu, rw: %llu)\n"
-      "  ro snapshot ext.   %llu\n"
-      "  ro promotions      %llu\n"
-      "  write-set lookups  %llu (mean probe length %.2f)\n",
-      static_cast<unsigned long long>(agg.commits),
-      static_cast<unsigned long long>(agg.roCommits),
-      static_cast<unsigned long long>(agg.commits - agg.roCommits),
-      static_cast<unsigned long long>(agg.roSnapshotExtensions),
-      static_cast<unsigned long long>(agg.roPromotions),
-      static_cast<unsigned long long>(agg.writeLookups), agg.meanWriteProbe());
+  // Whole-run STM breakdown over the default domain via the shared
+  // MetricsRegistry text exporter: commits with the RO/RW split, the
+  // per-cause abort taxonomy, write-set lookup costs, and the tx latency
+  // histograms — the same names the JSON/Prometheus exporters would emit,
+  // with no bench-local formatting to drift out of date.
+  obs::MetricsRegistry registry;
+  const auto reg =
+      obs::registerDomainMetrics(registry, "stm", stm::defaultDomain());
+  std::printf("\nSTM breakdown (default domain):\n%s",
+              registry.renderText().c_str());
   return 0;
 }

@@ -7,15 +7,22 @@
 // Demonstrates: building a ShardedMap on a shared MaintenanceScheduler with
 // per-shard clock domains, concurrent use, atomic cross-shard moves (one
 // transaction spanning two clock domains), consistent range counts that
-// span every shard, and the aggregated maintenance + per-domain STM
-// statistics.
+// span every shard, and the whole observability surface — every subsystem
+// registers a snapshot source with one MetricsRegistry and the text
+// exporter renders the merged view (maintenance, scheduler, per-domain STM
+// counters with the abort-cause taxonomy, per-slot load gauges, re-shard
+// mechanics) instead of each example hand-formatting its own dump.
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/stats_bridge.hpp"
 #include "shard/maintenance_scheduler.hpp"
 #include "shard/sharded_map.hpp"
 
+namespace obs = sftree::obs;
 namespace shard = sftree::shard;
 using sftree::Key;
 
@@ -71,85 +78,10 @@ int main() {
 
   // Let the shared pool finish restructuring, then inspect.
   map.quiesce();
-  const auto stats = map.aggregatedStats();
   std::printf("abstract size         = %zu keys over %d shards\n", map.size(),
               map.shardCount());
   std::printf("max shard height      = %d (log2(n/shards) ~ 12)\n",
               map.height());
-  std::printf("aggregated maintenance: %llu rotations, %llu removals, %llu "
-              "nodes freed\n",
-              static_cast<unsigned long long>(stats.maintenance.rotations),
-              static_cast<unsigned long long>(stats.maintenance.removals),
-              static_cast<unsigned long long>(stats.maintenance.nodesFreed));
-
-  // Targeted maintenance: updates feed per-shard violation queues and the
-  // workers repair only the affected root-paths; the queue counters show
-  // how much discovery work the full-sweep fallback never had to do.
-  std::printf("violation queues      : %llu captured -> %llu enqueued "
-              "(%llu deduped), %llu drained, mean drain latency %.0f us\n",
-              static_cast<unsigned long long>(stats.maintenance.queue.captured),
-              static_cast<unsigned long long>(stats.maintenance.queue.enqueued),
-              static_cast<unsigned long long>(stats.maintenance.queue.deduped),
-              static_cast<unsigned long long>(stats.maintenance.queue.drained),
-              stats.maintenance.queue.meanDrainLatencyUs());
-  std::printf("maintenance passes    : %llu (%llu full sweeps), %llu nodes "
-              "visited\n",
-              static_cast<unsigned long long>(stats.maintenance.traversals),
-              static_cast<unsigned long long>(stats.maintenance.fullSweeps),
-              static_cast<unsigned long long>(stats.maintenance.nodesVisited));
-  std::printf("per-shard queue depth :");
-  for (const auto d : stats.shardQueueDepths) {
-    std::printf(" %llu", static_cast<unsigned long long>(d));
-  }
-  std::printf(" (post-quiesce: all drained)\n");
-
-  const auto sched = scheduler.stats();
-  std::printf("scheduler             : %llu passes (%llu active), %llu "
-              "backoff skips, %llu signal wakeups, %llu priority picks\n",
-              static_cast<unsigned long long>(sched.passes),
-              static_cast<unsigned long long>(sched.activePasses),
-              static_cast<unsigned long long>(sched.backoffSkips),
-              static_cast<unsigned long long>(sched.signalWakeups),
-              static_cast<unsigned long long>(sched.priorityPicks));
-  for (const auto& t : scheduler.treeStats()) {
-    std::printf("  %-8s passes=%llu active=%llu queued=%llu\n", t.name.c_str(),
-                static_cast<unsigned long long>(t.passes),
-                static_cast<unsigned long long>(t.activePasses),
-                static_cast<unsigned long long>(t.lastLoad));
-  }
-
-  // Per-clock-domain STM statistics: each shard owns a domain, so the
-  // commit/abort traffic of every shard is visible in isolation (the
-  // whole point of per-shard domains — no shared clock, no shared stats).
-  std::printf("\nper-domain STM stats  :\n");
-  for (std::size_t i = 0; i < stats.domainStats.size(); ++i) {
-    const auto& d = stats.domainStats[i];
-    std::printf("  shard %zu: %llu commits, %llu aborts (%.2f%% abort "
-                "ratio), %llu reads, %llu writes\n",
-                i, static_cast<unsigned long long>(d.commits),
-                static_cast<unsigned long long>(d.aborts),
-                100.0 * d.abortRatio(),
-                static_cast<unsigned long long>(d.reads),
-                static_cast<unsigned long long>(d.writes));
-  }
-  std::printf("  total  : %llu commits, %llu aborts over %d domains\n",
-              static_cast<unsigned long long>(stats.stm.commits),
-              static_cast<unsigned long long>(stats.stm.aborts),
-              map.shardCount());
-  // Read-path breakdown (read-path overhaul): contains/get/countRange run
-  // as zero-logging read-only transactions; a stale snapshot re-reads the
-  // clock and restarts the op body, and a write inside an RO body promotes
-  // it to read-write. Write-set probe length is the O(W)-lookup canary.
-  std::printf("read path             : %llu ro-commits / %llu rw-commits, "
-              "%llu ro snapshot extensions, %llu ro promotions\n",
-              static_cast<unsigned long long>(stats.stm.roCommits),
-              static_cast<unsigned long long>(stats.stm.commits -
-                                              stats.stm.roCommits),
-              static_cast<unsigned long long>(stats.stm.roSnapshotExtensions),
-              static_cast<unsigned long long>(stats.stm.roPromotions));
-  std::printf("write-set lookups     : %llu (mean probe length %.2f)\n",
-              static_cast<unsigned long long>(stats.stm.writeLookups),
-              stats.stm.meanWriteProbe());
 
   // --- dynamic re-sharding --------------------------------------------------
   // The shard count is not fixed: splitShard moves half a hot shard's
@@ -163,15 +95,31 @@ int main() {
               "size still %zu\n",
               map.shardCount(), fresh, map.size());
   if (fresh >= 0) map.mergeShards(fresh, 0);
-  const auto rs = map.reshardStats();
   std::printf("mergeShards back      : %d shards, size %zu (conserved: %s)\n",
               map.shardCount(), map.size(),
               map.size() == before ? "yes" : "NO");
-  std::printf("re-shard mechanics    : %llu keys migrated in %llu batches, "
-              "%llu table publishes, %llu KiB of retired arenas freed\n",
-              static_cast<unsigned long long>(rs.keysMigrated),
-              static_cast<unsigned long long>(rs.migrationBatches),
-              static_cast<unsigned long long>(rs.tablePublishes),
-              static_cast<unsigned long long>(rs.retiredArenaBytes / 1024));
+
+  // --- the observability surface --------------------------------------------
+  // Every subsystem registers a snapshot source; one renderText() replaces
+  // the per-example printf dumps that used to live here. The map source
+  // covers aggregated maintenance + violation queues, the summed STM
+  // counters with the per-cause abort taxonomy, the per-slot load gauges,
+  // and the re-shard mechanics (keys migrated, table publishes, the
+  // migration-batch latency histogram). Per-shard clock domains register
+  // individually, so each shard's commit/abort traffic is visible in
+  // isolation — the whole point of per-shard domains.
+  obs::MetricsRegistry registry;
+  const auto mapReg = map.registerMetrics(registry, "map");
+  const auto schedReg = scheduler.registerMetrics(registry, "scheduler");
+  std::vector<obs::MetricsRegistry::Registration> domainRegs;
+  const auto domains = map.domains();
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    domainRegs.push_back(obs::registerDomainMetrics(
+        registry, "domain." + std::to_string(i), *domains[i]));
+  }
+  std::printf("\nmetrics (%zu sources, text exporter; renderJson() / "
+              "renderPrometheus() emit the same names):\n",
+              registry.sourceCount());
+  std::fputs(registry.renderText().c_str(), stdout);
   return 0;
 }

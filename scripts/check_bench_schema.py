@@ -19,6 +19,17 @@ build. Dispatch is on the top-level "bench" tag:
     comparison is advisory), the forced split->merge migration window
     must keep >= 50% of steady-state throughput, and both runs must
     conserve keys.
+  * obs_overhead — field-presence checks plus the observability cost gates
+    (BENCH_obs.json): the always-on surface (abort taxonomy + tx latency
+    histograms) must cost <= 2% over the observability-off baseline and
+    the commit-event trace <= 10% (per-mode minima over interleaved reps,
+    recomputed from the records — interference on shared runners is
+    additive, so the fastest rep estimates intrinsic cost); the
+    abort-cause partition invariant
+    (sum of conflict causes == legacy aborts counter) must have held in
+    every run. --fresh relaxes the ratio gates to 10%/20% for freshly
+    generated reports on noisy shared runners; the committed baseline is
+    always held to the strict bounds.
   * maintpath — field-presence checks, the targeted-vs-sweep acceptance
     gates (targeted maintenance must do >= 1.5x less maintenance work per
     committed update than full sweeps, with final height within 1.5x), and,
@@ -166,6 +177,58 @@ def check_reshard(top) -> None:
           f"{dynamic['migration_dip_ratio']:.2f}")
 
 
+OBS_RECORD_KEYS = [
+    "mode", "rep", "ops", "seconds", "ns_per_op", "abort_ratio",
+]
+
+OBS_META_KEYS = [
+    "reps", "threads", "duration_ms", "size_log", "update_percent",
+    "off_ns_per_op", "metrics_ns_per_op", "trace_ns_per_op",
+    "metrics_ratio", "trace_ratio", "cause_sum_matches",
+]
+
+
+def check_obs_overhead(top, fresh) -> None:
+    check_repo_report(top, "obs_overhead", OBS_RECORD_KEYS)
+    require(top["meta"], OBS_META_KEYS, "obs_overhead.meta")
+
+    if not top["meta"]["cause_sum_matches"]:
+        fail("obs_overhead: abort-cause counters did not sum to the legacy "
+             "aborts counter in at least one run (taxonomy partition "
+             "invariant broken)")
+
+    # Recompute per-mode minima from the records rather than trusting the
+    # meta block, then gate on the ratios (interference is additive, so the
+    # fastest rep is the robust intrinsic-cost estimator). The fresh bounds
+    # absorb residual shared-runner noise; the committed baseline is held
+    # to the strict bounds.
+    by_mode = {}
+    for rec in top["results"]:
+        by_mode.setdefault(rec["mode"], []).append(rec["ns_per_op"])
+    for mode in ("off", "metrics", "trace"):
+        if not by_mode.get(mode):
+            fail(f"obs_overhead has no '{mode}' records")
+
+    off = min(by_mode["off"])
+    if off <= 0:
+        fail("obs_overhead: off-mode best ns/op is zero")
+    metrics_ratio = min(by_mode["metrics"]) / off
+    trace_ratio = min(by_mode["trace"]) / off
+
+    metrics_bound = 1.10 if fresh else 1.02
+    trace_bound = 1.20 if fresh else 1.10
+    kind = "fresh" if fresh else "committed"
+    if metrics_ratio > metrics_bound:
+        fail(f"always-on observability costs {metrics_ratio:.3f}x vs off "
+             f"(bound {metrics_bound:.2f} for a {kind} report)")
+    if trace_ratio > trace_bound:
+        fail(f"enabled tracing costs {trace_ratio:.3f}x vs off "
+             f"(bound {trace_bound:.2f} for a {kind} report)")
+    print(f"check_bench_schema: obs gates OK ({kind}) — metrics "
+          f"{metrics_ratio:.3f}x, trace {trace_ratio:.3f}x, cause sums "
+          "match")
+
+
 MAINT_RECORD_KEYS = [
     "mode", "rep", "ops_per_us", "final_height", "committed_updates",
     "maint_nodes_visited", "visits_per_update", "maint_passes",
@@ -245,6 +308,10 @@ def main() -> None:
     parser.add_argument("--baseline", default=None,
                         help="committed BENCH_maintpath.json to guard the "
                              "work-per-update trajectory against")
+    parser.add_argument("--fresh", action="store_true",
+                        help="the report was generated on this runner just "
+                             "now: relax the obs overhead ratio gates for "
+                             "shared-runner noise")
     args = parser.parse_args()
 
     with open(args.report) as f:
@@ -259,6 +326,8 @@ def main() -> None:
         check_shard_scaling(top)
     elif top["bench"] == "reshard_churn":
         check_reshard(top)
+    elif top["bench"] == "obs_overhead":
+        check_obs_overhead(top, args.fresh)
     else:
         fail(f"unknown top-level bench tag '{top['bench']}'")
 

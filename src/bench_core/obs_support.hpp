@@ -1,0 +1,84 @@
+// Shared --obs wiring for the bench binaries: one RAII object turns the
+// observability surface on for a run and emits it at exit, so every bench
+// gains the same flags without bespoke plumbing:
+//
+//   --obs                  print a MetricsRegistry text snapshot at exit
+//   --obs-trace            enable the commit-event trace ring for the run
+//   --obs-trace-dump=<p>   write the merged dumpTrace() to <p> at exit
+//                          (implies --obs-trace)
+//   --obs-report-ms=N      run a StatsReporter emitting one JSON line of
+//                          metrics to stderr every N ms
+//
+// The binary registers its sources (trees, domains, maps, schedulers) on
+// session.registry(); everything else — trace enable/disable, the periodic
+// reporter's lifetime, the final render — is handled here.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_core/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sftree::bench {
+
+class ObsSession {
+ public:
+  explicit ObsSession(const Cli& cli)
+      : metrics_(cli.flag("obs")),
+        traceDumpPath_(cli.str("obs-trace-dump", "")),
+        trace_(cli.flag("obs-trace") || !traceDumpPath_.empty()) {
+    if (trace_) obs::traceEnable();
+    const std::int64_t periodMs = cli.integer("obs-report-ms", 0);
+    if (periodMs > 0) {
+      reporter_ = std::make_unique<obs::StatsReporter>(
+          registry_, std::cerr, static_cast<std::uint64_t>(periodMs));
+    }
+  }
+
+  ~ObsSession() {
+    reporter_.reset();  // stop periodic emission before the final render
+    if (metrics_) {
+      std::fputs("\n[obs] metrics snapshot:\n", stdout);
+      std::fputs(registry_.renderText().c_str(), stdout);
+    }
+    if (trace_) {
+      if (!traceDumpPath_.empty()) {
+        std::ofstream os(traceDumpPath_);
+        if (os) {
+          obs::dumpTrace(os);
+          std::fprintf(stderr, "[obs] trace written to %s\n",
+                       traceDumpPath_.c_str());
+        } else {
+          std::fprintf(stderr, "[obs] cannot open %s for the trace dump\n",
+                       traceDumpPath_.c_str());
+        }
+      }
+      obs::traceDisable();
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  // Register sources here; ignored (but harmless) when no --obs flag was
+  // given — registration is cheap and collection only happens at exit.
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  bool metricsRequested() const { return metrics_; }
+  bool traceRequested() const { return trace_; }
+
+ private:
+  obs::MetricsRegistry registry_;
+  bool metrics_ = false;
+  std::string traceDumpPath_;
+  bool trace_ = false;
+  std::unique_ptr<obs::StatsReporter> reporter_;
+};
+
+}  // namespace sftree::bench

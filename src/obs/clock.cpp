@@ -1,0 +1,36 @@
+#include "obs/clock.hpp"
+
+namespace sftree::obs::detail {
+
+std::atomic<bool>& txTimingFlag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+std::atomic<std::uint32_t>& txTimingMask() {
+  static std::atomic<std::uint32_t> mask{kDefaultTxTimingSampleMask};
+  return mask;
+}
+
+double calibrateNsPerTick() {
+#if SFTREE_OBS_HAS_TSC
+  // Busy-spin ~2ms against steady_clock once per process.  Runs lazily on
+  // first conversion (thread-safe via the function-local static in
+  // nsPerTick), so processes that never read a histogram pay nothing.
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const std::uint64_t c0 = __rdtsc();
+  constexpr auto kWindow = std::chrono::milliseconds(2);
+  auto t1 = clock::now();
+  while (t1 - t0 < kWindow) t1 = clock::now();
+  const std::uint64_t c1 = __rdtsc();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  if (c1 <= c0 || ns <= 0) return 1.0;  // TSC misbehaving; degrade to ticks
+  return static_cast<double>(ns) / static_cast<double>(c1 - c0);
+#else
+  return 1.0;
+#endif
+}
+
+}  // namespace sftree::obs::detail

@@ -1,0 +1,91 @@
+// Cheap monotonic timing for per-transaction latency histograms.
+//
+// The tx attempt path times every attempt when tx timing is enabled (the
+// default), so the timestamp cost sits directly on the STM fast path.  On
+// x86-64 we read the TSC (~a few ns, unserialized — fine for statistics) and
+// convert to nanoseconds with a once-per-process calibrated multiplier;
+// elsewhere we fall back to steady_clock.
+//
+// tick() returns raw ticks; ticksToNs() converts a tick *delta* to ns.
+// nowNs() is the convenience composition used for trace-record timestamps,
+// where the absolute ordering across threads is what matters.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define SFTREE_OBS_HAS_TSC 1
+#endif
+
+namespace sftree::obs {
+
+namespace detail {
+// Calibrated in clock.cpp; ns per TSC tick (1.0 on the steady_clock fallback).
+double calibrateNsPerTick();
+
+inline double nsPerTick() {
+  static const double kNsPerTick = calibrateNsPerTick();
+  return kNsPerTick;
+}
+}  // namespace detail
+
+inline std::uint64_t tick() {
+#if SFTREE_OBS_HAS_TSC
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+inline std::uint64_t ticksToNs(std::uint64_t ticks) {
+#if SFTREE_OBS_HAS_TSC
+  return static_cast<std::uint64_t>(static_cast<double>(ticks) *
+                                    detail::nsPerTick());
+#else
+  return ticks;
+#endif
+}
+
+inline std::uint64_t nowNs() { return ticksToNs(tick()); }
+
+// Global toggle for the per-attempt tx latency histograms.  Enabled by
+// default ("metrics always-on"); bench/obs_overhead measures the cost of this
+// default against the disabled state.  Read once per attempt in Tx::begin().
+//
+// Timing is *sampled*: with mask M, one attempt in M+1 (per thread, round-
+// robin) pays the two timestamp reads and the histogram record.  The default
+// 1-in-8 keeps the always-on cost within the <= 2% budget even where rdtsc
+// is expensive (virtualized TSC) while the histograms remain a uniform
+// sample — percentiles are unaffected, counts are ~attempts/(M+1).  Mask 0
+// times every attempt (tests that assert exact counts use it); masks must
+// be 2^k - 1.
+namespace detail {
+std::atomic<bool>& txTimingFlag();
+std::atomic<std::uint32_t>& txTimingMask();
+}
+
+inline bool txTimingEnabled() {
+  return detail::txTimingFlag().load(std::memory_order_relaxed);
+}
+
+inline void setTxTimingEnabled(bool on) {
+  detail::txTimingFlag().store(on, std::memory_order_relaxed);
+}
+
+inline constexpr std::uint32_t kDefaultTxTimingSampleMask = 7;  // 1-in-8
+
+inline std::uint32_t txTimingSampleMask() {
+  return detail::txTimingMask().load(std::memory_order_relaxed);
+}
+
+inline void setTxTimingSampleMask(std::uint32_t mask) {
+  detail::txTimingMask().store(mask, std::memory_order_relaxed);
+}
+
+}  // namespace sftree::obs

@@ -1,0 +1,149 @@
+// Log2-bucketed latency histogram.
+//
+// 64 buckets: bucket 0 holds the value 0, bucket b (b >= 1) holds values in
+// [2^(b-1), 2^b - 1].  Values are recorded in nanoseconds by convention, but
+// the histogram itself is unit-agnostic.
+//
+// Concurrency follows the ThreadStats single-writer discipline: one owning
+// thread records, while aggregators may take a snapshot() concurrently.  All
+// counter accesses go through relaxed single-word atomic_refs, so the owner's
+// fast path compiles to plain load/add/store and concurrent snapshots stay
+// well-defined (semantically racy — a snapshot mixes buckets from different
+// instants, which is fine for reporting).
+//
+// operator+= merges two *private* copies (snapshots); quantile accessors are
+// meant for merged/snapshotted copies as well.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace sftree::obs {
+
+namespace detail {
+
+inline std::uint64_t relaxedLoad(const std::uint64_t& c) {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(c))
+      .load(std::memory_order_relaxed);
+}
+
+inline void relaxedStore(std::uint64_t& c, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t>(c).store(v, std::memory_order_relaxed);
+}
+
+// Single-writer increment: compiles to a plain add, no lock prefix.
+inline void relaxedBump(std::uint64_t& c, std::uint64_t delta = 1) {
+  relaxedStore(c, relaxedLoad(c) + delta);
+}
+
+}  // namespace detail
+
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBucketCount = 64;
+
+  static constexpr std::size_t bucketOf(std::uint64_t v) {
+    return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  // Inclusive upper bound of a bucket (lower bound is the previous bucket's
+  // bound + 1; bucket 0 is exactly {0}).
+  static constexpr std::uint64_t bucketUpperBound(std::size_t b) {
+    return b == 0 ? 0
+           : b >= kBucketCount - 1
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << b) - 1;
+  }
+
+  // Owner-thread only.
+  void record(std::uint64_t value) {
+    detail::relaxedBump(buckets_[std::min(bucketOf(value), kBucketCount - 1)]);
+    detail::relaxedBump(count_);
+    detail::relaxedBump(sum_, value);
+    detail::relaxedStore(max_, std::max(detail::relaxedLoad(max_), value));
+  }
+
+  // Concurrency-safe copy (same contract as ThreadStats::snapshot()).
+  LogHistogram snapshot() const {
+    LogHistogram out;
+    for (std::size_t b = 0; b < kBucketCount; ++b)
+      out.buckets_[b] = detail::relaxedLoad(buckets_[b]);
+    out.count_ = detail::relaxedLoad(count_);
+    out.sum_ = detail::relaxedLoad(sum_);
+    out.max_ = detail::relaxedLoad(max_);
+    return out;
+  }
+
+  // Quiescent use only (mirrors ThreadStats::reset()).
+  void reset() {
+    for (std::size_t b = 0; b < kBucketCount; ++b)
+      detail::relaxedStore(buckets_[b], 0);
+    detail::relaxedStore(count_, 0);
+    detail::relaxedStore(sum_, 0);
+    detail::relaxedStore(max_, 0);
+  }
+
+  // Plain merge of two private copies (not concurrency-safe).
+  LogHistogram& operator+=(const LogHistogram& o) {
+    for (std::size_t b = 0; b < kBucketCount; ++b) buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    max_ = std::max(max_, o.max_);
+    return *this;
+  }
+
+  std::uint64_t count() const { return detail::relaxedLoad(count_); }
+  std::uint64_t sum() const { return detail::relaxedLoad(sum_); }
+  std::uint64_t max() const { return detail::relaxedLoad(max_); }
+  std::uint64_t bucketCount(std::size_t b) const {
+    return detail::relaxedLoad(buckets_[b]);
+  }
+
+  double mean() const {
+    const auto n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  // Quantile estimate via linear interpolation inside the covering bucket.
+  // Exact at bucket boundaries; within a bucket the error is bounded by the
+  // bucket width (a factor of 2).  The top populated bucket is clamped by
+  // the recorded max, so quantile(1.0) == max().
+  double quantile(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(n);
+    double cum = 0.0;
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      const double inBucket =
+          static_cast<double>(detail::relaxedLoad(buckets_[b]));
+      if (inBucket == 0.0) continue;
+      if (cum + inBucket >= target) {
+        const double lo =
+            b == 0 ? 0.0 : static_cast<double>(bucketUpperBound(b - 1)) + 1.0;
+        double hi = static_cast<double>(bucketUpperBound(b));
+        hi = std::min(hi, static_cast<double>(max()));
+        const double frac =
+            inBucket == 0.0 ? 0.0 : (target - cum) / inBucket;
+        return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      }
+      cum += inBucket;
+    }
+    return static_cast<double>(max());
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::uint64_t buckets_[kBucketCount] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace sftree::obs

@@ -1,0 +1,237 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/clock.hpp"
+
+namespace sftree::obs {
+
+namespace {
+
+// Counters and histogram counts are exact integers; gauges may be fractional.
+std::string formatNumber(double v) {
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string promName(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+void appendHistogramScalars(
+    const std::string& name, const LogHistogram& h,
+    const std::function<void(const std::string&, double)>& emit) {
+  emit(name + ".count", static_cast<double>(h.count()));
+  emit(name + ".sum", static_cast<double>(h.sum()));
+  emit(name + ".mean", h.mean());
+  emit(name + ".p50", h.p50());
+  emit(name + ".p95", h.p95());
+  emit(name + ".p99", h.p99());
+  emit(name + ".max", static_cast<double>(h.max()));
+}
+
+}  // namespace
+
+void MetricsRegistry::Registration::release() {
+  if (reg_ != nullptr) reg_->remove(id_);
+  reg_ = nullptr;
+}
+
+MetricsRegistry::Registration MetricsRegistry::add(std::string prefix,
+                                                   Callback cb) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t id = nextId_++;
+  sources_.push_back({id, std::move(prefix), std::move(cb)});
+  return Registration(this, id);
+}
+
+void MetricsRegistry::remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sources_.erase(std::remove_if(sources_.begin(), sources_.end(),
+                                [id](const Source& s) { return s.id == id; }),
+                 sources_.end());
+}
+
+std::size_t MetricsRegistry::sourceCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sources_.size();
+}
+
+std::vector<Metric> MetricsRegistry::collect() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Metric> out;
+  for (const Source& s : sources_) {
+    MetricSink sink;
+    sink.prefix_ = s.prefix;
+    s.cb(sink);
+    out.insert(out.end(), std::make_move_iterator(sink.metrics_.begin()),
+               std::make_move_iterator(sink.metrics_.end()));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::renderText() const {
+  const auto metrics = collect();
+  // Expand histograms into scalar lines first so alignment covers them too.
+  std::vector<std::pair<std::string, std::string>> lines;
+  std::size_t width = 0;
+  auto push = [&](const std::string& name, double v) {
+    lines.emplace_back(name, formatNumber(v));
+    width = std::max(width, name.size());
+  };
+  for (const Metric& m : metrics) {
+    if (m.kind == Metric::Kind::kHistogram) {
+      appendHistogramScalars(m.name, m.hist, push);
+    } else {
+      push(m.name, m.value);
+    }
+  }
+  std::ostringstream os;
+  for (const auto& [name, value] : lines) {
+    os << name;
+    for (std::size_t i = name.size(); i < width + 2; ++i) os << ' ';
+    os << value << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::renderJson() const {
+  const auto metrics = collect();
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto emit = [&](const std::string& name, double v) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jsonEscape(name) << "\":" << formatNumber(v);
+  };
+  for (const Metric& m : metrics) {
+    if (m.kind == Metric::Kind::kHistogram) {
+      appendHistogramScalars(m.name, m.hist, emit);
+    } else {
+      emit(m.name, m.value);
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  const auto metrics = collect();
+  std::ostringstream os;
+  for (const Metric& m : metrics) {
+    const std::string name = promName(m.name);
+    switch (m.kind) {
+      case Metric::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << formatNumber(m.value) << "\n";
+        break;
+      case Metric::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << formatNumber(m.value) << "\n";
+        break;
+      case Metric::Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < LogHistogram::kBucketCount; ++b) {
+          const std::uint64_t n = m.hist.bucketCount(b);
+          if (n == 0) continue;
+          cum += n;
+          os << name << "_bucket{le=\"" << LogHistogram::bucketUpperBound(b)
+             << "\"} " << cum << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << m.hist.count() << "\n"
+           << name << "_sum " << m.hist.sum() << "\n"
+           << name << "_count " << m.hist.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// StatsReporter
+
+struct StatsReporter::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  std::uint64_t lines = 0;
+};
+
+StatsReporter::StatsReporter(const MetricsRegistry& reg, std::ostream& os,
+                             std::uint64_t periodMs)
+    : state_(std::make_shared<State>()) {
+  thread_ = std::thread([state = state_, &reg, &os, periodMs] {
+    std::unique_lock<std::mutex> lk(state->mu);
+    while (!state->stop) {
+      state->cv.wait_for(lk, std::chrono::milliseconds(periodMs),
+                         [&] { return state->stop; });
+      if (state->stop) break;
+      lk.unlock();
+      const std::string line = reg.renderJson();
+      const std::uint64_t ts = nowNs();
+      lk.lock();
+      os << "{\"ts_ns\":" << ts << ",\"metrics\":" << line << "}\n";
+      os.flush();
+      ++state->lines;
+    }
+  });
+}
+
+StatsReporter::~StatsReporter() { stop(); }
+
+void StatsReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    if (state_->stop && !thread_.joinable()) return;
+    state_->stop = true;
+  }
+  state_->cv.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t StatsReporter::linesEmitted() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->lines;
+}
+
+}  // namespace sftree::obs

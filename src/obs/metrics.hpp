@@ -1,0 +1,148 @@
+// MetricsRegistry: one place every subsystem registers a snapshot callback,
+// with text / JSON / Prometheus-exposition exporters and an optional periodic
+// StatsReporter thread emitting JSON lines.
+//
+// Sources register a callback that, when the registry collects, receives a
+// MetricSink and emits named counters/gauges/histograms.  Registration
+// returns an RAII handle; the source is dropped when the handle dies, so a
+// subsystem can safely register for its own lifetime.  Callbacks run under
+// the registry mutex and must not re-enter the registry; they are expected
+// to read concurrency-safe snapshots (aggregatedStats(), Domain
+// aggregateStats(), LogHistogram::snapshot()...), so collecting while
+// mutators run is safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace sftree::obs {
+
+struct Metric {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kGauge;
+  double value = 0.0;  // counter/gauge value (counters are monotone totals)
+  LogHistogram hist;   // kHistogram only
+};
+
+class MetricSink {
+ public:
+  void counter(const std::string& name, std::uint64_t v) {
+    metrics_.push_back(
+        {prefixed(name), Metric::Kind::kCounter, static_cast<double>(v), {}});
+  }
+  void gauge(const std::string& name, double v) {
+    metrics_.push_back({prefixed(name), Metric::Kind::kGauge, v, {}});
+  }
+  // Takes a private/snapshot copy of the histogram.
+  void histogram(const std::string& name, const LogHistogram& h) {
+    metrics_.push_back({prefixed(name), Metric::Kind::kHistogram, 0.0, h});
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::string prefixed(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "." + name;
+  }
+  std::string prefix_;
+  std::vector<Metric> metrics_;
+};
+
+class MetricsRegistry {
+ public:
+  using Callback = std::function<void(MetricSink&)>;
+
+  // Movable RAII registration handle; unregisters on destruction.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& o) noexcept
+        : reg_(o.reg_), id_(o.id_) {
+      o.reg_ = nullptr;
+    }
+    Registration& operator=(Registration&& o) noexcept {
+      if (this != &o) {
+        release();
+        reg_ = o.reg_;
+        id_ = o.id_;
+        o.reg_ = nullptr;
+      }
+      return *this;
+    }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { release(); }
+    void release();
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* reg, std::uint64_t id)
+        : reg_(reg), id_(id) {}
+    MetricsRegistry* reg_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // All metric names the callback emits are prefixed with "<prefix>.".
+  [[nodiscard]] Registration add(std::string prefix, Callback cb);
+
+  std::size_t sourceCount() const;
+
+  // Runs every registered callback and returns the merged metric list.
+  std::vector<Metric> collect() const;
+
+  // Aligned "name  value" lines; histograms expand to count/mean/p50/p95/
+  // p99/max.
+  std::string renderText() const;
+  // One flat JSON object; histograms expand to "<name>.p50" etc.
+  std::string renderJson() const;
+  // Prometheus text exposition format; histograms become native histograms
+  // with cumulative log2 "le" buckets.
+  std::string renderPrometheus() const;
+
+ private:
+  void remove(std::uint64_t id);
+
+  struct Source {
+    std::uint64_t id;
+    std::string prefix;
+    Callback cb;
+  };
+  mutable std::mutex mu_;
+  std::vector<Source> sources_;
+  std::uint64_t nextId_ = 1;
+};
+
+// Periodic reporter: every `periodMs`, collects from the registry and writes
+// one JSON line ({"ts_ns":..., "metrics":{...}}) to the given stream.  The
+// registry must outlive the reporter.
+class StatsReporter {
+ public:
+  StatsReporter(const MetricsRegistry& reg, std::ostream& os,
+                std::uint64_t periodMs);
+  ~StatsReporter();
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void stop();  // idempotent; joins the reporter thread
+  std::uint64_t linesEmitted() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  std::thread thread_;
+};
+
+}  // namespace sftree::obs

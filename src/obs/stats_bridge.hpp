@@ -1,0 +1,65 @@
+// Adapters from the runtime's stats structs (stm::ThreadStats,
+// trees::MaintenanceStats, shard::SchedulerStats, mem::SlabArena) to
+// MetricSink emissions, so every subsystem's registerMetrics() shares one
+// naming scheme instead of re-listing fields.
+//
+// This header deliberately only forward-declares the subsystem types; the
+// .cpp includes the real headers.  obs core (histogram/trace/metrics) stays
+// dependency-free — the bridge is the one obs file that knows about the rest
+// of the runtime.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace sftree::stm {
+struct ThreadStats;
+class Domain;
+}  // namespace sftree::stm
+
+namespace sftree::trees {
+struct MaintenanceStats;
+struct ViolationQueueStats;
+}  // namespace sftree::trees
+
+namespace sftree::shard {
+struct SchedulerStats;
+}  // namespace sftree::shard
+
+namespace sftree::mem {
+class SlabArena;
+}  // namespace sftree::mem
+
+namespace sftree::obs {
+
+// All emitters prepend "<prefix>." to every metric name when prefix is
+// non-empty (on top of whatever prefix the registry source carries).
+
+// Commits/aborts (with the per-cause taxonomy under
+// "<prefix>.aborts_by_cause.<cause>"), read/write counters, RO-mode
+// breakdown, write-set lookup costs, and the attempt-latency histograms.
+void emitThreadStats(MetricSink& out, const std::string& prefix,
+                     const stm::ThreadStats& s);
+
+void emitViolationQueueStats(MetricSink& out, const std::string& prefix,
+                             const trees::ViolationQueueStats& s);
+
+// Includes the queue stats under "<prefix>.queue." and the drain-pass
+// latency histogram.
+void emitMaintenanceStats(MetricSink& out, const std::string& prefix,
+                          const trees::MaintenanceStats& s);
+
+void emitSchedulerStats(MetricSink& out, const std::string& prefix,
+                        const shard::SchedulerStats& s);
+
+void emitArenaStats(MetricSink& out, const std::string& prefix,
+                    const mem::SlabArena& a);
+
+// Registers a snapshot source for a clock domain: each collect() aggregates
+// the domain's per-thread slots (Domain::aggregateStats) and emits them via
+// emitThreadStats.  The domain must outlive the registration.
+[[nodiscard]] MetricsRegistry::Registration registerDomainMetrics(
+    MetricsRegistry& reg, std::string prefix, stm::Domain& d);
+
+}  // namespace sftree::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/stats_bridge.hpp"
+
 namespace sftree::shard {
 
 MaintenanceScheduler::MaintenanceScheduler(MaintenanceSchedulerConfig cfg)
@@ -101,6 +103,22 @@ std::vector<TreeMaintStats> MaintenanceScheduler::treeStats() const {
         {e->name, e->passes, e->activePasses, e->idleStreak, e->lastLoad});
   }
   return out;
+}
+
+obs::MetricsRegistry::Registration MaintenanceScheduler::registerMetrics(
+    obs::MetricsRegistry& reg, std::string prefix) {
+  return reg.add(std::move(prefix), [this](obs::MetricSink& out) {
+    obs::emitSchedulerStats(out, "", stats());
+    out.gauge("registered_trees", static_cast<double>(registeredCount()));
+    out.gauge("workers", workerCount());
+    for (const TreeMaintStats& t : treeStats()) {
+      const std::string p = "tree." + t.name + ".";
+      out.counter(p + "passes", t.passes);
+      out.counter(p + "active_passes", t.activePasses);
+      out.gauge(p + "idle_streak", t.idleStreak);
+      out.gauge(p + "last_load", static_cast<double>(t.lastLoad));
+    }
+  });
 }
 
 std::size_t MaintenanceScheduler::registeredCount() const {

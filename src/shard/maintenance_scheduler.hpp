@@ -38,6 +38,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace sftree::shard {
 
 struct MaintenanceSchedulerConfig {
@@ -126,6 +128,11 @@ class MaintenanceScheduler {
 
   SchedulerStats stats() const;
   std::vector<TreeMaintStats> treeStats() const;
+  // Registers the pool counters plus per-tree pass/backlog gauges (under
+  // "<prefix>.tree.<name>.") in `reg`. The scheduler must outlive the
+  // registration.
+  [[nodiscard]] obs::MetricsRegistry::Registration registerMetrics(
+      obs::MetricsRegistry& reg, std::string prefix);
   std::size_t registeredCount() const;
   int workerCount() const { return cfg_.workers; }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+
 namespace sftree::shard {
 
 ReshardController::ReshardController(ShardedMap& map,
@@ -37,11 +40,16 @@ void ReshardController::stop() {
 }
 
 bool ReshardController::sampleAndAct() {
-  std::lock_guard<std::mutex> lk(mu_);
+  // Sampling and acting run with NO controller lock held: mu_ is a leaf
+  // lock guarding prevTicks_/stats_/decisions_ only, never ordered before
+  // the map's reshard/topology mutexes or — via makeShard's registerTree —
+  // the maintenance scheduler's. Holding it across splitShard/mergeShards
+  // would make stats()/decisionLog()/metrics collection block behind a
+  // whole migration and closes lock cycles with quiesced walks that pause
+  // maintenance. Concurrent sampleAndAct calls (manual vs background) are
+  // instead serialized where it matters, by the map's own reshard mutex.
   const auto samples = map_.loadSamples();
-  ++stats_.samples;
   const int n = static_cast<int>(samples.size());
-  if (n == 0) return false;
 
   // Interval load per shard: update-tick delta since the previous sample
   // (traffic) plus the weighted violation-queue backlog. New shards (no
@@ -49,25 +57,30 @@ bool ReshardController::sampleAndAct() {
   std::vector<Score> scores;
   scores.reserve(samples.size());
   double total = 0;
-  std::map<const void*, std::uint64_t> ticksNow;
-  for (const ShardLoadSample& s : samples) {
-    ticksNow[s.id] = s.updateTicks;
-    const auto it = prevTicks_.find(s.id);
-    const std::uint64_t delta =
-        it == prevTicks_.end()
-            ? 0
-            : (s.updateTicks >= it->second ? s.updateTicks - it->second : 0);
-    const double load =
-        static_cast<double>(delta) +
-        static_cast<double>(cfg_.queueDepthWeight * s.queueDepth);
-    scores.push_back(Score{s.index, load});
-    total += load;
-  }
-  prevTicks_ = std::move(ticksNow);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.samples;
+    if (n == 0) return false;
+    std::map<const void*, std::uint64_t> ticksNow;
+    for (const ShardLoadSample& s : samples) {
+      ticksNow[s.id] = s.updateTicks;
+      const auto it = prevTicks_.find(s.id);
+      const std::uint64_t delta =
+          it == prevTicks_.end()
+              ? 0
+              : (s.updateTicks >= it->second ? s.updateTicks - it->second : 0);
+      const double load =
+          static_cast<double>(delta) +
+          static_cast<double>(cfg_.queueDepthWeight * s.queueDepth);
+      scores.push_back(Score{s.index, load, delta, s.queueDepth});
+      total += load;
+    }
+    prevTicks_ = std::move(ticksNow);
 
-  if (total < static_cast<double>(cfg_.minOpsPerSample)) {
-    ++stats_.idleSamples;
-    return false;
+    if (total < static_cast<double>(cfg_.minOpsPerSample)) {
+      ++stats_.idleSamples;
+      return false;
+    }
   }
   const double fairShare = total / n;
 
@@ -77,26 +90,124 @@ bool ReshardController::sampleAndAct() {
   const int maxShards =
       cfg_.maxShards > 0 ? std::min(cfg_.maxShards, map_.routingSlots())
                          : map_.routingSlots();
+
+  // Every non-idle sample yields one decision record; the inputs (load,
+  // fair share, threshold, tick delta, backlog) are captured before the
+  // mechanism runs so a refused action still logs what was attempted.
+  ReshardDecision d;
+  d.ns = obs::nowNs();
+  d.fairShare = fairShare;
+  d.total = total;
+
   if (scores.front().load > cfg_.splitFactor * fairShare && n < maxShards) {
-    if (map_.splitShard(scores.front().index) >= 0) {
+    d.action = ReshardDecision::Action::kSplit;
+    d.shard = scores.front().index;
+    d.load = scores.front().load;
+    d.threshold = cfg_.splitFactor * fairShare;
+    d.tickDelta = scores.front().tickDelta;
+    d.queueDepth = scores.front().queueDepth;
+    const int born = map_.splitShard(scores.front().index);
+    d.other = born;
+    d.acted = born >= 0;
+    recordDecision(d);
+    if (born >= 0) {
+      std::lock_guard<std::mutex> lk(mu_);
       ++stats_.splits;
       return true;
     }
     // -1: the shard is down to one slot (or the index went stale); fall
     // through and let a merge rebalance instead if one applies.
+    d = ReshardDecision{};
+    d.ns = obs::nowNs();
+    d.fairShare = fairShare;
+    d.total = total;
   }
 
   if (n > std::max(cfg_.minShards, 1) && n >= 2) {
     const Score& coldest = scores[scores.size() - 1];
     const Score& secondColdest = scores[scores.size() - 2];
     if (coldest.load + secondColdest.load < cfg_.mergeFactor * fairShare) {
-      if (map_.mergeShards(coldest.index, secondColdest.index)) {
+      d.action = ReshardDecision::Action::kMerge;
+      d.shard = coldest.index;
+      d.other = secondColdest.index;
+      d.load = coldest.load + secondColdest.load;
+      d.threshold = cfg_.mergeFactor * fairShare;
+      d.tickDelta = coldest.tickDelta;
+      d.queueDepth = coldest.queueDepth;
+      d.acted = map_.mergeShards(coldest.index, secondColdest.index);
+      recordDecision(d);
+      if (d.acted) {
+        std::lock_guard<std::mutex> lk(mu_);
         ++stats_.merges;
         return true;
       }
+      return false;
     }
   }
+
+  // Neither threshold tripped: log the hottest/coldest pair the thresholds
+  // were judged against (the "why not" record).
+  d.action = ReshardDecision::Action::kNone;
+  d.shard = scores.front().index;
+  d.other = scores.back().index;
+  d.load = scores.front().load;
+  d.threshold = cfg_.splitFactor * fairShare;
+  d.tickDelta = scores.front().tickDelta;
+  d.queueDepth = scores.front().queueDepth;
+  recordDecision(d);
   return false;
+}
+
+void ReshardController::recordDecision(ReshardDecision d) {
+  if (obs::traceEnabled()) {
+    // a = shard index (as unsigned; -1 never reaches here for the deciding
+    // shard), b = rounded deciding load, op = action code, cause = acted.
+    // Emitted before taking mu_ so mu_ stays a leaf even against the trace
+    // ring registry lock (first emission on a thread registers its ring).
+    obs::trace(obs::TraceKind::kReshardDecision,
+               static_cast<std::uint64_t>(d.shard < 0 ? 0 : d.shard),
+               static_cast<std::uint64_t>(d.load < 0 ? 0 : d.load),
+               d.acted ? 1 : 0, static_cast<std::uint16_t>(d.action));
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  decisions_.push_back(std::move(d));
+  while (decisions_.size() > kDecisionLogCapacity) decisions_.pop_front();
+}
+
+std::vector<ReshardDecision> ReshardController::decisionLog() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {decisions_.begin(), decisions_.end()};
+}
+
+obs::MetricsRegistry::Registration ReshardController::registerMetrics(
+    obs::MetricsRegistry& reg, std::string prefix) {
+  return reg.add(std::move(prefix), [this](obs::MetricSink& out) {
+    ReshardControllerStats s;
+    ReshardDecision last;
+    bool haveLast = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      s = stats_;
+      if (!decisions_.empty()) {
+        last = decisions_.back();
+        haveLast = true;
+      }
+    }
+    out.counter("samples", s.samples);
+    out.counter("idle_samples", s.idleSamples);
+    out.counter("splits", s.splits);
+    out.counter("merges", s.merges);
+    if (haveLast) {
+      out.gauge("last_decision.action", static_cast<double>(last.action));
+      out.gauge("last_decision.acted", last.acted ? 1.0 : 0.0);
+      out.gauge("last_decision.shard", static_cast<double>(last.shard));
+      out.gauge("last_decision.load", last.load);
+      out.gauge("last_decision.fair_share", last.fairShare);
+      out.gauge("last_decision.threshold", last.threshold);
+      out.gauge("last_decision.queue_depth",
+                static_cast<double>(last.queueDepth));
+    }
+  });
 }
 
 ReshardControllerStats ReshardController::stats() const {

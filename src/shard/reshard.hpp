@@ -23,10 +23,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <thread>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "shard/sharded_map.hpp"
 
 namespace sftree::shard {
@@ -60,6 +63,28 @@ struct ReshardControllerStats {
   std::uint64_t merges = 0;
 };
 
+// One policy decision with the inputs it was made on, so "why did the map
+// split at 14:02?" is answerable from the log instead of a rerun. Every
+// sample that clears the idle filter produces one entry (action kNone when
+// neither threshold tripped).
+struct ReshardDecision {
+  enum class Action : std::uint8_t { kNone = 0, kSplit = 1, kMerge = 2 };
+  std::uint64_t ns = 0;  // wall-clock timestamp of the decision
+  Action action = Action::kNone;
+  // kSplit: the shard split / the new shard's index (-1 when the split was
+  // refused). kMerge: the victim / the target. kNone: hottest / coldest.
+  int shard = -1;
+  int other = -1;
+  bool acted = false;     // the mechanism accepted (stale indexes refuse)
+  double load = 0.0;      // deciding load: hottest shard (split/none),
+                          // coldest-pair sum (merge)
+  double fairShare = 0.0; // total / shardCount this interval
+  double total = 0.0;     // summed interval load (tick deltas + backlog)
+  double threshold = 0.0; // the factor * fairShare the load was compared to
+  std::uint64_t tickDelta = 0;   // deciding shard's update-tick delta
+  std::uint64_t queueDepth = 0;  // deciding shard's backlog at sample time
+};
+
 class ReshardController {
  public:
   explicit ReshardController(ShardedMap& map,
@@ -81,21 +106,42 @@ class ReshardController {
 
   ReshardControllerStats stats() const;
 
+  // The last kDecisionLogCapacity decisions, oldest first.
+  std::vector<ReshardDecision> decisionLog() const;
+
+  // Registers a snapshot source emitting the controller counters plus the
+  // most recent decision (action/load/fair-share/threshold gauges). The
+  // controller must outlive the registration.
+  [[nodiscard]] obs::MetricsRegistry::Registration registerMetrics(
+      obs::MetricsRegistry& reg, std::string prefix);
+
+  static constexpr std::size_t kDecisionLogCapacity = 64;
+
  private:
   // Per-shard load score over the last sampling interval.
   struct Score {
     int index;
     double load;
+    std::uint64_t tickDelta;
+    std::uint64_t queueDepth;
   };
+
+  // Mirrors the decision into the event trace (TraceKind::kReshardDecision)
+  // and appends to the bounded log (takes mu_ itself for the append).
+  void recordDecision(ReshardDecision d);
 
   ShardedMap& map_;
   const ReshardControllerConfig cfg_;
 
-  mutable std::mutex mu_;  // serializes sampleAndAct (manual vs background)
+  // Leaf lock: guards prevTicks_/stats_/decisions_ and is never held across
+  // calls into the map (or anything else that takes a lock) — see the lock
+  // ordering note at the top of sampleAndAct().
+  mutable std::mutex mu_;
   // Update-tick reading at the previous sample, keyed by stable shard
   // identity (tree address; indexes shift under splits/merges).
   std::map<const void*, std::uint64_t> prevTicks_;
   ReshardControllerStats stats_;
+  std::deque<ReshardDecision> decisions_;  // bounded: kDecisionLogCapacity
 
   std::atomic<bool> stop_{false};
   std::thread thread_;

@@ -7,10 +7,20 @@
 #include <thread>
 
 #include "mem/arena.hpp"
+#include "obs/clock.hpp"
+#include "obs/stats_bridge.hpp"
+#include "obs/trace.hpp"
 
 namespace sftree::shard {
 
 namespace {
+
+// kMapOp trace payload: op kind codes (record.op).
+constexpr std::uint16_t kOpInsert = 1;
+constexpr std::uint16_t kOpErase = 2;
+constexpr std::uint16_t kOpGet = 3;
+constexpr std::uint16_t kOpContains = 4;
+constexpr std::uint16_t kOpMove = 5;
 
 // splitmix64 finalizer: adjacent keys land on unrelated slots, so a
 // key-range scan load-balances instead of hammering one tree.
@@ -79,6 +89,10 @@ ShardedMap::ShardedMap(ShardedMapConfig cfg) : cfg_(std::move(cfg)) {
   const auto n = static_cast<std::size_t>(cfg_.shards);
   live_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) live_.push_back(makeShard());
+
+  // Per-slot traffic gauges (value-initialized to zero).
+  slotTicks_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(cfg_.routingSlots));
 
   // Initial routing: contiguous slot blocks, floor/ceil(S/N) slots each.
   auto t = std::make_unique<RoutingTable>();
@@ -336,7 +350,13 @@ std::optional<Value> ShardedMap::get(Key k) {
 bool ShardedMap::insertTx(stm::Tx& tx, Key k, Value v) {
   const OpGuard::Ticket t = guard_.enter();
   tx.onSettled([this, t] { guard_.exit(t); });
-  const RouteEntry e = routeTx(tx)->slots[slotOf(k)];
+  const RoutingTable* tbl = routeTx(tx);
+  const std::size_t slot = slotOf(k);
+  bumpSlotTick(slot);
+  if (obs::traceEnabled()) {
+    obs::trace(obs::TraceKind::kMapOp, tbl->version, slot, 0, kOpInsert);
+  }
+  const RouteEntry e = tbl->slots[slot];
   const bool r = entryInsertTx(tx, e, k, v);
   if (r) {
     // Settle the estimate only if the enclosing transaction commits: the
@@ -350,7 +370,13 @@ bool ShardedMap::insertTx(stm::Tx& tx, Key k, Value v) {
 bool ShardedMap::eraseTx(stm::Tx& tx, Key k) {
   const OpGuard::Ticket t = guard_.enter();
   tx.onSettled([this, t] { guard_.exit(t); });
-  const RouteEntry e = routeTx(tx)->slots[slotOf(k)];
+  const RoutingTable* tbl = routeTx(tx);
+  const std::size_t slot = slotOf(k);
+  bumpSlotTick(slot);
+  if (obs::traceEnabled()) {
+    obs::trace(obs::TraceKind::kMapOp, tbl->version, slot, 0, kOpErase);
+  }
+  const RouteEntry e = tbl->slots[slot];
   trees::SFTree* hit = nullptr;
   const bool r = entryEraseTx(tx, e, k, &hit);
   if (r) {
@@ -362,13 +388,25 @@ bool ShardedMap::eraseTx(stm::Tx& tx, Key k) {
 bool ShardedMap::containsTx(stm::Tx& tx, Key k) {
   const OpGuard::Ticket t = guard_.enter();
   tx.onSettled([this, t] { guard_.exit(t); });
-  return entryContainsTx(tx, routeTx(tx)->slots[slotOf(k)], k);
+  const RoutingTable* tbl = routeTx(tx);
+  const std::size_t slot = slotOf(k);
+  bumpSlotTick(slot);
+  if (obs::traceEnabled()) {
+    obs::trace(obs::TraceKind::kMapOp, tbl->version, slot, 0, kOpContains);
+  }
+  return entryContainsTx(tx, tbl->slots[slot], k);
 }
 
 std::optional<Value> ShardedMap::getTx(stm::Tx& tx, Key k) {
   const OpGuard::Ticket t = guard_.enter();
   tx.onSettled([this, t] { guard_.exit(t); });
-  return entryGetTx(tx, routeTx(tx)->slots[slotOf(k)], k);
+  const RoutingTable* tbl = routeTx(tx);
+  const std::size_t slot = slotOf(k);
+  bumpSlotTick(slot);
+  if (obs::traceEnabled()) {
+    obs::trace(obs::TraceKind::kMapOp, tbl->version, slot, 0, kOpGet);
+  }
+  return entryGetTx(tx, tbl->slots[slot], k);
 }
 
 bool ShardedMap::move(Key from, Key to) {
@@ -401,8 +439,15 @@ bool ShardedMap::moveTx(stm::Tx& tx, Key from, Key to) {
   const OpGuard::Ticket ticket = guard_.enter();
   tx.onSettled([this, ticket] { guard_.exit(ticket); });
   const RoutingTable* t = routeTx(tx);  // per attempt: re-route on retry
-  const RouteEntry eFrom = t->slots[slotOf(from)];
-  const RouteEntry eTo = t->slots[slotOf(to)];
+  const std::size_t slotFrom = slotOf(from);
+  const std::size_t slotTo = slotOf(to);
+  bumpSlotTick(slotFrom);
+  if (slotTo != slotFrom) bumpSlotTick(slotTo);
+  if (obs::traceEnabled()) {
+    obs::trace(obs::TraceKind::kMapOp, t->version, slotFrom, 0, kOpMove);
+  }
+  const RouteEntry eFrom = t->slots[slotFrom];
+  const RouteEntry eTo = t->slots[slotTo];
   if (entryContainsTx(tx, eTo, to)) return false;
   const std::optional<Value> v = entryGetTx(tx, eFrom, from);
   if (!v) return false;
@@ -477,6 +522,10 @@ void ShardedMap::publishTable(std::unique_ptr<RoutingTable> next) {
   const RoutingTable* fresh = next.release();
   stm::atomically(*routingDomain_, stm::TxKind::Normal,
                   [&](stm::Tx& tx) { tableTx_.write(tx, fresh); });
+  if (obs::traceEnabled()) {
+    obs::trace(obs::TraceKind::kTablePublish, fresh->version,
+               distinctTrees(*fresh).size());
+  }
   // Doomed stragglers may still *dereference* `old` (and the trees it
   // names) until their attempt ends; the census drain covers that, with
   // Tx-composable entry points holding their tickets until the enclosing
@@ -515,9 +564,11 @@ void ShardedMap::migrateSlots(trees::SFTree* src, trees::SFTree* dst,
   batch.reserve(cfg_.migrationBatch);
   std::uint64_t keys = 0;
   std::uint64_t batches = 0;
+  const std::uint64_t dualVersion = table()->version;
   Key cursor = std::numeric_limits<Key>::min();
   for (bool done = false; !done;) {
     Key nextLo = cursor;
+    const std::uint64_t batchStart = obs::tick();
     const std::size_t adopted = stm::atomically(
         src->domain(), stm::TxKind::Normal, [&](stm::Tx& tx) -> std::size_t {
           const bool complete = src->extractRangeTx(
@@ -526,12 +577,20 @@ void ShardedMap::migrateSlots(trees::SFTree* src, trees::SFTree* dst,
           if (batch.empty()) return 0;
           return dst->adoptRangeTx(tx, batch.data(), batch.size());
         });
+    const std::uint64_t batchNs = obs::ticksToNs(obs::tick() - batchStart);
     assert(adopted == batch.size() &&
            "a migrating key was already present in the destination shard");
     (void)adopted;
     keys += batch.size();
     ++batches;
     cursor = nextLo;
+    if (obs::traceEnabled()) {
+      obs::trace(obs::TraceKind::kMigrationBatch, batch.size(), dualVersion);
+    }
+    {
+      std::lock_guard<std::mutex> lk(reshardStatsMu_);
+      reshardStats_.migrationBatchNs.record(batchNs);
+    }
   }
 
   // Phase 3: settled table — the moved slots route solely to dst. In-flight
@@ -771,6 +830,7 @@ ShardedMapStats ShardedMap::aggregatedStats() const {
     out.maintenance.nodesFreed += m.nodesFreed;
     out.maintenance.nodesRetired += m.nodesRetired;
     out.maintenance.nodesVisited += m.nodesVisited;
+    out.maintenance.passNs += m.passNs;
     out.maintenance.queue.captured += m.queue.captured;
     out.maintenance.queue.enqueued += m.queue.enqueued;
     out.maintenance.queue.deduped += m.queue.deduped;
@@ -779,7 +839,48 @@ ShardedMapStats ShardedMap::aggregatedStats() const {
     out.maintenance.queue.overflows += m.queue.overflows;
     out.maintenance.queue.drainLatencyUsSum += m.queue.drainLatencyUsSum;
   }
+  out.slotOpTicks.reserve(static_cast<std::size_t>(cfg_.routingSlots));
+  for (std::size_t s = 0; s < static_cast<std::size_t>(cfg_.routingSlots);
+       ++s) {
+    out.slotOpTicks.push_back(slotTicks_[s].load(std::memory_order_relaxed));
+  }
   return out;
+}
+
+obs::MetricsRegistry::Registration ShardedMap::registerMetrics(
+    obs::MetricsRegistry& reg, std::string prefix) {
+  return reg.add(std::move(prefix), [this](obs::MetricSink& out) {
+    const ShardedMapStats s = aggregatedStats();
+    out.gauge("size_estimate", static_cast<double>(s.sizeEstimate));
+    out.gauge("shards", static_cast<double>(s.shardSizeEstimates.size()));
+    obs::emitThreadStats(out, "stm", s.stm);
+    obs::emitMaintenanceStats(out, "maintenance", s.maintenance);
+    // Slot load gauges: the full vector (dashboards can heat-map it) plus
+    // the summary a skew alarm would key on.
+    std::uint64_t total = 0;
+    std::uint64_t hottest = 0;
+    for (std::size_t i = 0; i < s.slotOpTicks.size(); ++i) {
+      total += s.slotOpTicks[i];
+      hottest = std::max(hottest, s.slotOpTicks[i]);
+      out.counter("slot_ops.slot." + std::to_string(i), s.slotOpTicks[i]);
+    }
+    out.counter("slot_ops.total", total);
+    out.counter("slot_ops.max", hottest);
+    out.gauge("slot_ops.mean",
+              s.slotOpTicks.empty()
+                  ? 0.0
+                  : static_cast<double>(total) /
+                        static_cast<double>(s.slotOpTicks.size()));
+    const ReshardStats r = reshardStats();
+    out.counter("reshard.splits", r.splits);
+    out.counter("reshard.merges", r.merges);
+    out.counter("reshard.keys_migrated", r.keysMigrated);
+    out.counter("reshard.migration_batches", r.migrationBatches);
+    out.counter("reshard.table_publishes", r.tablePublishes);
+    out.counter("reshard.retired_arena_bytes", r.retiredArenaBytes);
+    out.counter("reshard.retired_live_blocks", r.retiredLiveBlocks);
+    out.histogram("reshard.migration_batch_ns", r.migrationBatchNs);
+  });
 }
 
 }  // namespace sftree::shard

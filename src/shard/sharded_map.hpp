@@ -44,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "shard/maintenance_scheduler.hpp"
 #include "stm/domain.hpp"
 #include "stm/field.hpp"
@@ -108,6 +110,11 @@ struct ShardedMapStats {
   // Per-shard monotonic update counters (racy snapshots) — the traffic
   // gauge the ReshardController differentiates between samples.
   std::vector<std::uint64_t> shardUpdateTicks;
+  // Per-routing-slot operation counters (racy snapshots): every *attempt*
+  // of a single-key operation bumps its slot, so the gauges measure where
+  // the traffic lands — including retried attempts, like updateTicks — not
+  // committed mutations. Indexed by slot, size == routingSlots.
+  std::vector<std::uint64_t> slotOpTicks;
   // STM statistics per clock domain: one entry per shard in PerShard mode,
   // a single entry for the shared domain otherwise. Snapshots are exact
   // only while no transactions are in flight.
@@ -127,6 +134,9 @@ struct ReshardStats {
   // frees wholesale).
   std::uint64_t retiredArenaBytes = 0;
   std::uint64_t retiredLiveBlocks = 0;
+  // Wall time of each migration batch transaction (the extract+adopt unit
+  // of work a split/merge interleaves with live traffic).
+  obs::LogHistogram migrationBatchNs;
 };
 
 // Per-shard load sample for re-sharding policy (see ReshardController).
@@ -226,6 +236,13 @@ class ShardedMap final : public trees::ITransactionalMap {
 
   ReshardStats reshardStats() const;
 
+  // Registers a snapshot source emitting aggregatedStats() (map totals,
+  // summed maintenance, STM counters + abort taxonomy), reshardStats()
+  // (including the migration-batch latency histogram), and the per-slot
+  // load gauges. The map must outlive the registration.
+  [[nodiscard]] obs::MetricsRegistry::Registration registerMetrics(
+      obs::MetricsRegistry& reg, std::string prefix);
+
  private:
   // --- routing ---------------------------------------------------------------
   // One slot's route. While the slot migrates, `prev` carries the tree keys
@@ -319,6 +336,12 @@ class ShardedMap final : public trees::ITransactionalMap {
   };
 
   std::size_t slotOf(Key k) const;
+  // Per-slot traffic gauge (see ShardedMapStats::slotOpTicks). Relaxed:
+  // the slot index is already in hand at every call site, so the bump is
+  // one uncontended-in-expectation RMW per attempt.
+  void bumpSlotTick(std::size_t slot) {
+    slotTicks_[slot].fetch_add(1, std::memory_order_relaxed);
+  }
   // Non-transactional peek (root-domain/kind selection, diagnostics,
   // quiesced walks). Transactional bodies must use routeTx instead.
   const RoutingTable* table() const { return tableTx_.loadAcquire(); }
@@ -392,6 +415,9 @@ class ShardedMap final : public trees::ITransactionalMap {
   stm::TxField<const RoutingTable*> tableTx_{nullptr};
   std::vector<std::unique_ptr<ShardRec>> live_;
   mutable OpGuard guard_;  // const accessors take tickets too
+  // One relaxed counter per routing slot (fixed size routingSlots for the
+  // map's lifetime, like the slot space itself).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slotTicks_;
   std::uint64_t tableVersion_ = 0;  // reshardMu_ (and constructor) only
   mutable std::mutex reshardStatsMu_;
   ReshardStats reshardStats_;

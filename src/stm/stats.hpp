@@ -20,6 +20,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/abort_cause.hpp"
+#include "obs/histogram.hpp"
+
 namespace sftree::stm {
 
 namespace detail {
@@ -59,6 +62,18 @@ struct ThreadStats {
   // probe length is the O(W)-scan regression canary.
   std::uint64_t writeLookups = 0;
   std::uint64_t writeProbes = 0;
+  // Abort/restart taxonomy (see obs/abort_cause.hpp). The conflict-cause
+  // entries partition `aborts` exactly: conflictAbortTotal() == aborts.
+  // The restart entries (RO snapshot extension / promotion) tag intentional
+  // restarts and do not contribute to `aborts`; abortsByCause[kRoPromotion]
+  // tracks roPromotions, and abortsByCause[kRoSnapshotExtension] counts only
+  // extensions that restarted the op body (a subset of roSnapshotExtensions,
+  // which also counts free mid-read slides).
+  std::uint64_t abortsByCause[obs::kAbortCauseCount] = {};
+  // Attempt latency (ns), split by outcome; recorded per attempt when
+  // obs::txTimingEnabled() (the default).
+  obs::LogHistogram txCommitNs;
+  obs::LogHistogram txAbortNs;
 
   // Operation bracket (Table 1 instrumentation). Reentrant: nested brackets
   // (an operation composed into an enclosing one, e.g. inside vacation
@@ -110,7 +125,15 @@ struct ThreadStats {
 
   void onWrite() { detail::statBump(writes); }
   void onCommit() { detail::statBump(commits); }
-  void onAbort() { detail::statBump(aborts); }
+  void onAbort(obs::AbortCause c) {
+    detail::statBump(aborts);
+    detail::statBump(abortsByCause[obs::abortCauseIndex(c)]);
+  }
+  // Intentional restart (RO snapshot extension / promotion): taxonomy only,
+  // not an abort.
+  void onRestart(obs::AbortCause c) {
+    detail::statBump(abortsByCause[obs::abortCauseIndex(c)]);
+  }
   void onElasticCut() { detail::statBump(elasticCuts); }
   void onSnapshotExtension() { detail::statBump(snapshotExtensions); }
   void onRoCommit() { detail::statBump(roCommits); }
@@ -139,6 +162,10 @@ struct ThreadStats {
     out.roPromotions = detail::statLoad(roPromotions);
     out.writeLookups = detail::statLoad(writeLookups);
     out.writeProbes = detail::statLoad(writeProbes);
+    for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i)
+      out.abortsByCause[i] = detail::statLoad(abortsByCause[i]);
+    out.txCommitNs = txCommitNs.snapshot();
+    out.txAbortNs = txAbortNs.snapshot();
     out.ops = detail::statLoad(ops);
     out.totalOpReads = detail::statLoad(totalOpReads);
     out.maxOpReads = detail::statLoad(maxOpReads);
@@ -160,6 +187,10 @@ struct ThreadStats {
     detail::statStore(roPromotions, 0);
     detail::statStore(writeLookups, 0);
     detail::statStore(writeProbes, 0);
+    for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i)
+      detail::statStore(abortsByCause[i], 0);
+    txCommitNs.reset();
+    txAbortNs.reset();
     detail::statStore(ops, 0);
     detail::statStore(totalOpReads, 0);
     detail::statStore(maxOpReads, 0);
@@ -180,10 +211,26 @@ struct ThreadStats {
     roPromotions += o.roPromotions;
     writeLookups += o.writeLookups;
     writeProbes += o.writeProbes;
+    for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i)
+      abortsByCause[i] += o.abortsByCause[i];
+    txCommitNs += o.txCommitNs;
+    txAbortNs += o.txAbortNs;
     ops += o.ops;
     totalOpReads += o.totalOpReads;
     maxOpReads = std::max(maxOpReads, o.maxOpReads);
     return *this;
+  }
+
+  // Sum of the conflict-cause counters; equals `aborts` by construction.
+  std::uint64_t conflictAbortTotal() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < obs::kFirstRestartCause; ++i)
+      total += detail::statLoad(abortsByCause[i]);
+    return total;
+  }
+
+  std::uint64_t abortsFor(obs::AbortCause c) const {
+    return detail::statLoad(abortsByCause[obs::abortCauseIndex(c)]);
   }
 
   double abortRatio() const {

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "stm/domain.hpp"
 
 namespace sftree::stm {
@@ -108,6 +110,12 @@ void Tx::begin(Domain& d, TxKind kind, ThreadStats& stats) {
   window_.clear();
   if (elasticPhase_) window_.reserve(cfg_.elasticWindow);
   windowNext_ = 0;
+  abortCause_ = obs::AbortCause::kUserRestart;
+  // Sampled: one attempt in (mask+1) pays the timestamp reads; the
+  // disabled/unsampled fast path is one relaxed load plus a counter bump.
+  timed_ = obs::txTimingEnabled() &&
+           (timingSeq_++ & obs::txTimingSampleMask()) == 0;
+  if (timed_) beginTick_ = obs::tick();
   ++attempts_;
 }
 
@@ -162,16 +170,34 @@ std::size_t Tx::enterDomain(Domain& d) {
   d.txEnter();  // released by exitDomainsInFlight at attempt end
   curView_ = views_.size() - 1;
   if (backend_ == TmBackend::NOrec) {
-    if (!valueLog_.empty()) norecValidate();
+    if (!valueLog_.empty()) norecValidate(obs::AbortCause::kCrossDomainJoin);
   } else if (!readSet_.empty() || !window_.empty()) {
-    if (!validateReadSet()) abortSelf();
+    if (!validateReadSet()) abortSelf(obs::AbortCause::kCrossDomainJoin);
   }
   return prev;
 }
 
-[[noreturn]] void Tx::abortSelf() { throw TxAbort{}; }
+[[noreturn]] void Tx::abortSelf(obs::AbortCause cause) {
+  abortCause_ = cause;
+  throw TxAbort{};
+}
 
-[[noreturn]] void Tx::restart() { abortSelf(); }
+[[noreturn]] void Tx::restart() { abortSelf(obs::AbortCause::kUserRestart); }
+
+void Tx::finishAttempt(bool committed) {
+  if (timed_ && stats_ != nullptr) {
+    const std::uint64_t ns = obs::ticksToNs(obs::tick() - beginTick_);
+    (committed ? stats_->txCommitNs : stats_->txAbortNs).record(ns);
+  }
+  if (obs::traceEnabled()) {
+    const obs::TraceKind kind = committed        ? obs::TraceKind::kTxCommit
+                                : abortIsRestart_ ? obs::TraceKind::kTxRestart
+                                                  : obs::TraceKind::kTxAbort;
+    obs::trace(kind, reinterpret_cast<std::uint64_t>(views_.front().domain),
+               attempts_, static_cast<std::uint8_t>(abortCause_),
+               static_cast<std::uint16_t>(kind_));
+  }
+}
 
 void Tx::onAbort() {
   releaseHeldLocks(/*restoreOldVersion=*/true);
@@ -187,12 +213,15 @@ void Tx::onAbort() {
   speculativeAllocs_.clear();
   commitHooks_.clear();
   if (stats_ != nullptr) flushReadStats();
+  finishAttempt(/*committed=*/false);
   if (abortIsRestart_) {
     // RO snapshot refresh or RO->RW promotion: a deliberate restart, not a
-    // conflict — already accounted by its own counter.
+    // conflict — its own counter tracks it, and the taxonomy tags it under
+    // a restart cause that stays out of the `aborts` sum.
     abortIsRestart_ = false;
+    if (stats_ != nullptr) stats_->onRestart(abortCause_);
   } else if (stats_ != nullptr) {
-    stats_->onAbort();
+    stats_->onAbort(abortCause_);
   }
   exitDomainsInFlight();
   active_ = false;
@@ -311,7 +340,7 @@ Tx::SampledWord Tx::sampleCommitted(const Word* addr,
         cpuRelax();
         continue;
       }
-      abortSelf();
+      abortSelf(obs::AbortCause::kLockConflict);
     }
     Word value = atomicLoadWord(addr);
     std::atomic_thread_fence(std::memory_order_acquire);
@@ -329,6 +358,7 @@ Tx::SampledWord Tx::sampleCommitted(const Word* addr,
   // read set.
   constexpr std::uint32_t kRoPromoteAttempts = 2;
   if (attempts_ >= kRoPromoteAttempts) roPromoted_ = true;
+  abortCause_ = obs::AbortCause::kRoSnapshotExtension;
   abortIsRestart_ = true;
   backoffWaiver_ = true;
   throw TxAbort{};
@@ -337,6 +367,7 @@ Tx::SampledWord Tx::sampleCommitted(const Word* addr,
 [[noreturn]] void Tx::roPromote() {
   stats_->onRoPromotion();
   roPromoted_ = true;
+  abortCause_ = obs::AbortCause::kRoPromotion;
   abortIsRestart_ = true;
   backoffWaiver_ = true;
   throw TxAbort{};
@@ -520,7 +551,7 @@ void Tx::acquireOrecForWrite(WriteEntry& we) {
         we.locked = false;
         return;
       }
-      abortSelf();
+      abortSelf(obs::AbortCause::kLockConflict);
     }
     if (orec::version(cur) > v.rv) {
       // Keep the snapshot consistent so read-after-write on this stripe is
@@ -565,7 +596,7 @@ void Tx::extendSnapshot(std::size_t viewIdx) {
   // hold: this is what keeps a multi-domain snapshot globally consistent
   // (a cross-domain commit that invalidated any earlier read is caught
   // here before the extension makes its effects readable).
-  if (!validateReadSet()) abortSelf();
+  if (!validateReadSet()) abortSelf(obs::AbortCause::kReadValidation);
   v.rv = now;
   stats_->onSnapshotExtension();
 }
@@ -585,14 +616,14 @@ void Tx::elasticRecord(std::atomic<OrecWord>* orec, std::uint64_t version) {
 
 void Tx::elasticValidateWindow() {
   for (const ReadEntry& e : window_) {
-    if (!validateEntry(e)) abortSelf();
+    if (!validateEntry(e)) abortSelf(obs::AbortCause::kElasticValidation);
   }
   // Pinned reads (readPinned) sit in the permanent read set even during the
   // window phase. They join every hand-over-hand validation so the elastic
   // rv slide — and the rv+1 == wv commit shortcut built on it — can never
   // outrun them.
   for (const ReadEntry& e : readSet_) {
-    if (!validateEntry(e)) abortSelf();
+    if (!validateEntry(e)) abortSelf(obs::AbortCause::kElasticValidation);
   }
 }
 
@@ -660,6 +691,7 @@ void Tx::commit() {
     flushReadStats();
     stats_->onCommit();
     if (ro_) stats_->onRoCommit();
+    finishAttempt(/*committed=*/true);
     exitDomainsInFlight();
     active_ = false;
     runTxEndHooks();
@@ -684,7 +716,7 @@ void Tx::commit() {
           // Owned by someone else (self-ownership is impossible here: all
           // our locks come from earlier iterations, which are deduplicated
           // by the caller). Abort and retry with backoff.
-          abortSelf();
+          abortSelf(obs::AbortCause::kLockConflict);
         }
         if (orec::version(cur) > v.rv) {
           extendSnapshot(we.view);
@@ -740,7 +772,7 @@ void Tx::commit() {
     views_[0].wv = views_[0].domain->clock().tick();
     if (views_[0].rv + 1 != views_[0].wv) {
       // Someone committed since our snapshot; the read set must still hold.
-      if (!validateReadSet()) abortSelf();
+      if (!validateReadSet()) abortSelf(obs::AbortCause::kReadValidation);
     }
   } else {
     // All write-back gates must be up before the *first* tick: a
@@ -758,7 +790,7 @@ void Tx::commit() {
     }
     // The single-domain rv+1 == wv shortcut does not compose across
     // clocks; a multi-domain commit always validates.
-    if (!validateReadSet()) abortSelf();
+    if (!validateReadSet()) abortSelf(obs::AbortCause::kReadValidation);
   }
   for (const WriteEntry& we : writeSet_) {
     atomicStoreWord(we.addr, we.value);
@@ -768,6 +800,7 @@ void Tx::commit() {
   speculativeAllocs_.clear();  // published: ownership transferred
   flushReadStats();
   stats_->onCommit();
+  finishAttempt(/*committed=*/true);
   exitDomainsInFlight();
   active_ = false;
   runTxEndHooks();
@@ -865,7 +898,7 @@ void Tx::norecRoFlushValidation() {
   }
 }
 
-void Tx::norecValidate() {
+void Tx::norecValidate(obs::AbortCause mismatchCause) {
   bool holdingLocks = false;
   for (const auto& v : views_) holdingLocks |= v.seqLocked;
   seqSnap_.resize(views_.size());
@@ -884,7 +917,8 @@ void Tx::norecValidate() {
         // While we hold sequence locks ourselves, waiting unboundedly for
         // another domain's writer could deadlock with a writer waiting for
         // ours; bound the wait and abort (backoff breaks the symmetry).
-        if (holdingLocks && ++spins > kNorecHeldSpinLimit) abortSelf();
+        if (holdingLocks && ++spins > kNorecHeldSpinLimit)
+          abortSelf(obs::AbortCause::kLockConflict);
         cpuRelax();
       }
     }
@@ -906,7 +940,7 @@ void Tx::norecValidate() {
       }
     }
     if (moved) continue;
-    if (!ok) abortSelf();
+    if (!ok) abortSelf(mismatchCause);
     for (std::size_t i = 0; i < views_.size(); ++i) {
       if (!views_[i].seqLocked) views_[i].rv = seqSnap_[i];
     }
@@ -925,6 +959,7 @@ void Tx::norecCommit() {
     flushReadStats();
     stats_->onCommit();
     if (ro_) stats_->onRoCommit();
+    finishAttempt(/*committed=*/true);
     exitDomainsInFlight();
     active_ = false;
     runTxEndHooks();
@@ -974,6 +1009,7 @@ void Tx::norecCommit() {
   speculativeAllocs_.clear();
   flushReadStats();
   stats_->onCommit();
+  finishAttempt(/*committed=*/true);
   exitDomainsInFlight();
   active_ = false;
   runTxEndHooks();

@@ -58,6 +58,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/abort_cause.hpp"
 #include "stm/clock.hpp"
 #include "stm/config.hpp"
 #include "stm/hooks.hpp"
@@ -358,11 +359,17 @@ class alignas(64) Tx {
   // while this transaction itself holds sequence locks, to stay
   // deadlock-free), re-reads the value log; aborts on mismatch, else
   // refreshes every view's snapshot.
-  void norecValidate();
+  // `mismatchCause` tags the abort raised on a value-log mismatch
+  // (NorecValidation normally; CrossDomainJoin when validating a join).
+  void norecValidate(
+      obs::AbortCause mismatchCause = obs::AbortCause::kNorecValidation);
   void norecCommit();
   static std::uint64_t norecWaitEven(Domain& d);
 
-  [[noreturn]] void abortSelf();
+  [[noreturn]] void abortSelf(obs::AbortCause cause);
+  // Attempt epilogue: records the attempt-latency histogram and emits the
+  // commit/abort trace record. Runs on every attempt end.
+  void finishAttempt(bool committed);
 
   TxKind kind_ = TxKind::Normal;
   bool active_ = false;
@@ -376,6 +383,16 @@ class alignas(64) Tx {
   // promotion), not a conflict: skip the abort counter and the backoff.
   bool abortIsRestart_ = false;
   bool backoffWaiver_ = false;
+  // Taxonomy tag of the abort/restart in flight. Reset to kUserRestart at
+  // begin() so an abort nothing tagged (tx.restart(), a user exception
+  // unwinding through stm::atomically) is attributed to the user.
+  obs::AbortCause abortCause_ = obs::AbortCause::kUserRestart;
+  // Attempt latency: begin() latches the timing toggle and timestamp once
+  // per attempt (obs::txTimingEnabled() is the always-on default, sampled
+  // 1-in-(mask+1) attempts via timingSeq_).
+  bool timed_ = false;
+  std::uint32_t timingSeq_ = 0;
+  std::uint64_t beginTick_ = 0;
   // Per-attempt read/lookup counters, flushed to the stats slot once at
   // attempt end (commit or abort) — keeps the atomic-ref pairs off every
   // read and write-set probe. pendingReads_ doubles as the "has this

@@ -1,6 +1,9 @@
 #include "trees/sftree.hpp"
 
 #include "gc/tx_guard.hpp"
+#include "obs/clock.hpp"
+#include "obs/stats_bridge.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -681,6 +684,7 @@ bool SFTree::runMaintenancePass(const std::atomic<bool>* cancel) {
 }
 
 bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
+  const std::uint64_t passStart = obs::tick();
   limbo_.openEpoch(registry_);
   bool didWork = false;
   if (cfg_.targetedMaintenance) {
@@ -693,7 +697,14 @@ bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
   }
   limbo_.tryCollect(registry_);
   {
+    const std::uint64_t passNs = obs::ticksToNs(obs::tick() - passStart);
+    if (obs::traceEnabled()) {
+      obs::trace(obs::TraceKind::kMaintPass,
+                 reinterpret_cast<std::uint64_t>(this), passNs, 0,
+                 fullSweep ? 1 : 0);
+    }
     std::lock_guard<std::mutex> lk(maintStatsMu_);
+    maintStats_.passNs.record(passNs);
     ++maintStats_.traversals;
     if (fullSweep) ++maintStats_.fullSweeps;
     maintStats_.nodesFreed = limbo_.freedTotal();
@@ -910,6 +921,19 @@ MaintenanceStats SFTree::maintenanceStats() const {
   MaintenanceStats out = maintStats_;
   out.queue = violations_.stats();
   return out;
+}
+
+obs::MetricsRegistry::Registration SFTree::registerMetrics(
+    obs::MetricsRegistry& reg, std::string prefix) {
+  return reg.add(std::move(prefix), [this](obs::MetricSink& out) {
+    obs::emitMaintenanceStats(out, "maintenance", maintenanceStats());
+    out.gauge("size_estimate", static_cast<double>(sizeEstimate()));
+    out.counter("update_ticks", updateTicks());
+    out.gauge("violation_queue_depth",
+              static_cast<double>(violationQueueDepth()));
+    out.gauge("limbo_pending", static_cast<double>(limboPending()));
+    obs::emitArenaStats(out, "arena", arenaForStats());
+  });
 }
 
 // --------------------------------------------------------------------------

@@ -32,6 +32,8 @@
 #include "gc/limbo_list.hpp"
 #include "gc/thread_registry.hpp"
 #include "mem/arena.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "stm/stm.hpp"
 #include "trees/key.hpp"
 #include "trees/violation_queue.hpp"
@@ -130,6 +132,8 @@ struct MaintenanceStats {
   // the "maintenance work" numerator — divide by committed updates to get
   // the cost the targeted mode is built to shrink.
   std::uint64_t nodesVisited = 0;
+  // Drain-pass latency (ns per maintainOnce pass, targeted or sweep).
+  obs::LogHistogram passNs;
   // Violation-queue view (see ViolationQueueStats for field meanings).
   ViolationQueueStats queue;
 };
@@ -225,6 +229,12 @@ class SFTree {
   int quiesceNow(int maxPasses = 1000);
 
   MaintenanceStats maintenanceStats() const;
+
+  // Registers this tree's snapshot metrics (maintenance counters incl. the
+  // drain-pass histogram, queue occupancy, size estimate, arena footprint)
+  // under "<prefix>." in `reg`. The tree must outlive the registration.
+  [[nodiscard]] obs::MetricsRegistry::Registration registerMetrics(
+      obs::MetricsRegistry& reg, std::string prefix);
 
   // Entries currently waiting in the violation queue (racy snapshot). This
   // is the occupancy an external scheduler uses to steer workers toward the

@@ -1,0 +1,449 @@
+// Observability core: log2-bucket histograms (buckets, percentiles, merge),
+// the commit-event trace ring (wraparound, spans, concurrent dump), the
+// MetricsRegistry (RAII registration, exporters, collection while mutators
+// run), and the periodic StatsReporter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/abort_cause.hpp"
+#include "obs/clock.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stm/stm.hpp"
+
+namespace obs = sftree::obs;
+namespace stm = sftree::stm;
+
+namespace {
+
+// --- abort-cause taxonomy metadata -----------------------------------------
+
+TEST(AbortCauseTest, NamesAndRestartBand) {
+  EXPECT_STREQ(obs::abortCauseName(obs::AbortCause::kReadValidation),
+               "read_validation");
+  EXPECT_STREQ(obs::abortCauseName(obs::AbortCause::kRoPromotion),
+               "ro_promotion");
+  for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i) {
+    EXPECT_NE(std::string(obs::abortCauseName(i)), "");
+    EXPECT_EQ(obs::abortCauseIsRestart(static_cast<obs::AbortCause>(i)),
+              i >= obs::kFirstRestartCause);
+  }
+}
+
+// --- LogHistogram -----------------------------------------------------------
+
+TEST(LogHistogramTest, BucketBoundaries) {
+  // Bucket 0 = {0}; bucket b >= 1 covers [2^(b-1), 2^b - 1].
+  EXPECT_EQ(obs::LogHistogram::bucketOf(0), 0u);
+  EXPECT_EQ(obs::LogHistogram::bucketOf(1), 1u);
+  EXPECT_EQ(obs::LogHistogram::bucketOf(2), 2u);
+  EXPECT_EQ(obs::LogHistogram::bucketOf(3), 2u);
+  EXPECT_EQ(obs::LogHistogram::bucketOf(4), 3u);
+  EXPECT_EQ(obs::LogHistogram::bucketOf(1023), 10u);
+  EXPECT_EQ(obs::LogHistogram::bucketOf(1024), 11u);
+  // The top bucket index is clamped at record() time.
+  EXPECT_GE(obs::LogHistogram::bucketOf(~std::uint64_t{0}),
+            obs::LogHistogram::kBucketCount - 1);
+  EXPECT_EQ(obs::LogHistogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(obs::LogHistogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(obs::LogHistogram::bucketUpperBound(10), 1023u);
+}
+
+TEST(LogHistogramTest, CountSumMaxMean) {
+  obs::LogHistogram h;
+  for (std::uint64_t v : {5u, 10u, 100u, 1000u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1115u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1115.0 / 4.0);
+}
+
+TEST(LogHistogramTest, QuantilesAreBucketAccurate) {
+  obs::LogHistogram h;
+  // 100 samples at ~16 (bucket [16,31]), 10 at ~1024 (bucket [1024,2047]).
+  for (int i = 0; i < 100; ++i) h.record(16);
+  for (int i = 0; i < 10; ++i) h.record(1024);
+  // p50 lands in the low bucket, p99 in the tail bucket.
+  EXPECT_GE(h.p50(), 16.0);
+  EXPECT_LE(h.p50(), 31.0);
+  EXPECT_GE(h.p99(), 1024.0);
+  // The quantile estimate is clamped by the recorded max.
+  EXPECT_LE(h.p99(), 1024.0 + 1e-9);
+  EXPECT_LE(h.quantile(1.0), static_cast<double>(h.max()) + 1e-9);
+}
+
+TEST(LogHistogramTest, MergePreservesTotalsAndMax) {
+  obs::LogHistogram a;
+  obs::LogHistogram b;
+  for (int i = 0; i < 50; ++i) a.record(8);
+  for (int i = 0; i < 50; ++i) b.record(2048);
+  b.record(1u << 20);
+  obs::LogHistogram merged = a;
+  merged += b;
+  EXPECT_EQ(merged.count(), a.count() + b.count());
+  EXPECT_EQ(merged.sum(), a.sum() + b.sum());
+  EXPECT_EQ(merged.max(), 1u << 20);
+  EXPECT_GE(merged.p95(), 2048.0);
+}
+
+TEST(LogHistogramTest, ResetClears) {
+  obs::LogHistogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, ConcurrentSnapshotWhileRecording) {
+  // Single-writer discipline: one recorder, concurrent snapshot readers.
+  obs::LogHistogram h;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t v = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.record(v = (v * 2862933555777941757ULL + 3037000493ULL) >> 32);
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    const obs::LogHistogram snap = h.snapshot();
+    EXPECT_LE(snap.count(), h.snapshot().count());
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// --- trace ring -------------------------------------------------------------
+
+TEST(TraceTest, DisabledEmitsNothing) {
+  obs::traceDisable();
+  obs::trace(obs::TraceKind::kMapOp, 1, 2);
+  EXPECT_FALSE(obs::traceEnabled());
+}
+
+TEST(TraceTest, RecordsCarryPayloadAndMergeInTimestampOrder) {
+  obs::traceEnable();
+  obs::trace(obs::TraceKind::kTablePublish, 7, 3);
+  obs::trace(obs::TraceKind::kMigrationBatch, 64, 7, 0, 0);
+  obs::trace(obs::TraceKind::kTxAbort, 0, 0,
+             static_cast<std::uint8_t>(
+                 obs::abortCauseIndex(obs::AbortCause::kLockConflict)),
+             0);
+  const auto recs = obs::dumpTrace();
+  obs::traceDisable();
+  ASSERT_GE(recs.size(), 3u);
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].ns, recs[i].ns);
+  }
+  bool sawPublish = false;
+  bool sawAbort = false;
+  for (const auto& r : recs) {
+    if (r.kind == obs::TraceKind::kTablePublish && r.a == 7 && r.b == 3) {
+      sawPublish = true;
+    }
+    if (r.kind == obs::TraceKind::kTxAbort &&
+        r.cause == obs::abortCauseIndex(obs::AbortCause::kLockConflict)) {
+      sawAbort = true;
+    }
+  }
+  EXPECT_TRUE(sawPublish);
+  EXPECT_TRUE(sawAbort);
+  // Human-readable rendering mentions the kind and the cause name.
+  std::ostringstream os;
+  for (const auto& r : recs) os << obs::formatTraceRecord(r) << "\n";
+  EXPECT_NE(os.str().find("table_publish"), std::string::npos);
+  EXPECT_NE(os.str().find("lock_conflict"), std::string::npos);
+}
+
+TEST(TraceTest, EnableStartsAFreshSpan) {
+  obs::traceEnable();
+  obs::trace(obs::TraceKind::kMapOp, 111, 0);
+  obs::traceDisable();
+  obs::traceEnable();  // new span: the old record must not reappear
+  obs::trace(obs::TraceKind::kMapOp, 222, 0);
+  const auto recs = obs::dumpTrace();
+  obs::traceDisable();
+  for (const auto& r : recs) {
+    if (r.kind == obs::TraceKind::kMapOp) EXPECT_NE(r.a, 111u);
+  }
+}
+
+TEST(TraceTest, DumpAfterDisableStillReturnsLastSpan) {
+  obs::traceEnable();
+  obs::trace(obs::TraceKind::kMaintPass, 5, 500);
+  obs::traceDisable();
+  const auto recs = obs::dumpTrace();  // post-mortem use case
+  bool found = false;
+  for (const auto& r : recs) {
+    if (r.kind == obs::TraceKind::kMaintPass && r.a == 5) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, WraparoundKeepsLatestRecords) {
+  obs::traceEnable();
+  const std::size_t cap = obs::traceRingCapacity();
+  for (std::size_t i = 0; i < cap + 100; ++i) {
+    obs::trace(obs::TraceKind::kMapOp, /*a=*/i, 0);
+  }
+  const auto recs = obs::dumpTrace();
+  obs::traceDisable();
+  // The ring holds the newest `cap` records; the first 100 were overwritten.
+  std::uint64_t minA = ~std::uint64_t{0};
+  std::uint64_t maxA = 0;
+  std::size_t mapOps = 0;
+  for (const auto& r : recs) {
+    if (r.kind != obs::TraceKind::kMapOp) continue;
+    ++mapOps;
+    minA = std::min(minA, r.a);
+    maxA = std::max(maxA, r.a);
+  }
+  EXPECT_LE(mapOps, cap);
+  EXPECT_EQ(maxA, cap + 99);
+  EXPECT_GE(minA, 100u);
+}
+
+TEST(TraceTest, ConcurrentEmitAndDump) {
+  // Writers hammer their rings while a reader dumps: the per-slot seqlock
+  // must keep this data-race-free (TSan job runs this suite) and the dump
+  // must only ever see whole records.
+  obs::traceEnable();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Payload invariant per record: b == a + 1 (torn reads would break
+        // it).
+        obs::trace(obs::TraceKind::kMapOp, i, i + 1, 0,
+                   static_cast<std::uint16_t>(t));
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    const auto recs = obs::dumpTrace();
+    for (const auto& r : recs) {
+      if (r.kind == obs::TraceKind::kMapOp) EXPECT_EQ(r.b, r.a + 1);
+    }
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  obs::traceDisable();
+}
+
+TEST(TraceTest, TxLifecycleEventsAreTraced) {
+  obs::traceEnable();
+  stm::Domain dom;
+  stm::TxField<std::int64_t> x(0);
+  int attempts = 0;
+  stm::atomically(dom, [&](stm::Tx& tx) {
+    ++attempts;
+    x.write(tx, 1);
+    if (attempts == 1) tx.restart();
+  });
+  const auto recs = obs::dumpTrace();
+  obs::traceDisable();
+  bool sawCommit = false;
+  bool sawAbort = false;
+  for (const auto& r : recs) {
+    // Lifecycle records carry the attempt count in `b`.
+    if (r.kind == obs::TraceKind::kTxCommit && r.b == 2) sawCommit = true;
+    if (r.kind == obs::TraceKind::kTxAbort && r.b == 1 &&
+        r.cause == obs::abortCauseIndex(obs::AbortCause::kUserRestart)) {
+      sawAbort = true;
+    }
+  }
+  EXPECT_TRUE(sawCommit);
+  EXPECT_TRUE(sawAbort);
+}
+
+// --- tx latency histograms --------------------------------------------------
+
+TEST(TxTimingTest, CommitAndAbortDurationsAreRecorded) {
+  stm::Domain dom;
+  stm::TxField<std::int64_t> x(0);
+  auto& st = stm::threadStats(dom);
+  st.reset();
+  ASSERT_TRUE(obs::txTimingEnabled());  // always-on default
+  // Mask 0 times every attempt so the counts below are exact (the shipping
+  // default samples 1-in-8).
+  const std::uint32_t prevMask = obs::txTimingSampleMask();
+  obs::setTxTimingSampleMask(0);
+  int attempts = 0;
+  stm::atomically(dom, [&](stm::Tx& tx) {
+    ++attempts;
+    x.write(tx, attempts);
+    if (attempts == 1) tx.restart();
+  });
+  obs::setTxTimingSampleMask(prevMask);
+  EXPECT_EQ(st.txCommitNs.count(), 1u);
+  EXPECT_EQ(st.txAbortNs.count(), 1u);
+}
+
+TEST(TxTimingTest, DisabledTimingRecordsNothing) {
+  stm::Domain dom;
+  stm::TxField<std::int64_t> x(0);
+  auto& st = stm::threadStats(dom);
+  st.reset();
+  const std::uint32_t prevMask = obs::txTimingSampleMask();
+  obs::setTxTimingSampleMask(0);
+  obs::setTxTimingEnabled(false);
+  stm::atomically(dom, [&](stm::Tx& tx) { x.write(tx, 1); });
+  obs::setTxTimingEnabled(true);
+  obs::setTxTimingSampleMask(prevMask);
+  EXPECT_EQ(st.txCommitNs.count(), 0u);
+}
+
+TEST(TxTimingTest, SampledTimingRecordsRoughlyOneInPeriod) {
+  stm::Domain dom;
+  stm::TxField<std::int64_t> x(0);
+  auto& st = stm::threadStats(dom);
+  st.reset();
+  ASSERT_EQ(obs::txTimingSampleMask(), obs::kDefaultTxTimingSampleMask);
+  constexpr int kTxs = 800;
+  for (int i = 0; i < kTxs; ++i) {
+    stm::atomically(dom, [&](stm::Tx& tx) { x.write(tx, i); });
+  }
+  // One attempt per tx, 1-in-8 sampling; the round-robin phase gives at
+  // most one sample of slack.
+  const std::uint64_t expected =
+      kTxs / (obs::kDefaultTxTimingSampleMask + 1);
+  EXPECT_GE(st.txCommitNs.count(), expected - 1);
+  EXPECT_LE(st.txCommitNs.count(), expected + 1);
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegistrationIsRaii) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.sourceCount(), 0u);
+  {
+    const auto r1 = reg.add("a", [](obs::MetricSink& out) {
+      out.counter("ops", 1);
+    });
+    EXPECT_EQ(reg.sourceCount(), 1u);
+    {
+      const auto r2 = reg.add("b", [](obs::MetricSink& out) {
+        out.gauge("depth", 2.5);
+      });
+      EXPECT_EQ(reg.sourceCount(), 2u);
+    }
+    EXPECT_EQ(reg.sourceCount(), 1u);
+  }
+  EXPECT_EQ(reg.sourceCount(), 0u);
+}
+
+TEST(MetricsRegistryTest, ExportersRenderAllKinds) {
+  obs::MetricsRegistry reg;
+  const auto r = reg.add("tree", [](obs::MetricSink& out) {
+    out.counter("commits", 42);
+    out.gauge("abort_ratio", 0.125);
+    obs::LogHistogram h;
+    h.record(100);
+    h.record(200);
+    out.histogram("latency_ns", h);
+  });
+
+  const std::string text = reg.renderText();
+  EXPECT_NE(text.find("tree.commits"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("tree.latency_ns.p99"), std::string::npos);
+
+  const std::string json = reg.renderJson();
+  EXPECT_NE(json.find("\"tree.commits\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"tree.abort_ratio\":0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"tree.latency_ns.count\":2"), std::string::npos);
+
+  const std::string prom = reg.renderPrometheus();
+  EXPECT_NE(prom.find("# TYPE tree_commits counter"), std::string::npos);
+  EXPECT_NE(prom.find("tree_latency_ns_bucket{le="), std::string::npos);
+  EXPECT_NE(prom.find("tree_latency_ns_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CollectWhileMutatorsRun) {
+  // A live SFTree-backed domain source collected concurrently with running
+  // transactions: callbacks read concurrency-safe snapshots, so this must
+  // be clean under TSan.
+  stm::Domain dom;
+  stm::TxField<std::int64_t> fields[4];  // default-constructed to 0
+  obs::MetricsRegistry reg;
+  const auto r = reg.add("stm", [&dom](obs::MetricSink& out) {
+    const auto s = dom.aggregateStats();
+    out.counter("commits", s.commits);
+    out.counter("aborts", s.aborts);
+    out.histogram("tx_commit_ns", s.txCommitNs);
+  });
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        stm::atomically(dom, [&](stm::Tx& tx) {
+          fields[0].write(tx, fields[1].read(tx) + 1);
+          fields[2].write(tx, fields[3].read(tx) + 1);
+        });
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto metrics = reg.collect();
+    ASSERT_EQ(metrics.size(), 3u);
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+}
+
+TEST(StatsReporterTest, EmitsJsonLines) {
+  obs::MetricsRegistry reg;
+  const auto r = reg.add("x", [](obs::MetricSink& out) {
+    out.counter("n", 7);
+  });
+  std::ostringstream os;
+  {
+    obs::StatsReporter reporter(reg, os, /*periodMs=*/5);
+    while (reporter.linesEmitted() == 0) std::this_thread::yield();
+  }
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"ts_ns\":"), std::string::npos);
+  EXPECT_NE(out.find("\"x.n\":7"), std::string::npos);
+  // Every line is one JSON object.
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+// --- CI trace artifact ------------------------------------------------------
+
+// When SFTREE_TRACE_DUMP is set (the CI TSan job does), write the merged
+// trace to that path at teardown so a failing run leaves a forensics
+// artifact behind.
+class TraceDumpEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* path = std::getenv("SFTREE_TRACE_DUMP");
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream os(path);
+    if (os) obs::dumpTrace(os);
+  }
+};
+
+const ::testing::Environment* const kTraceDumpEnv =
+    ::testing::AddGlobalTestEnvironment(new TraceDumpEnvironment);
+
+}  // namespace

@@ -155,6 +155,10 @@ TEST_P(StmBasicTest, StatsCountCommitsAndAborts) {
   const auto& s = stm::threadStats();
   EXPECT_EQ(s.aborts, 2u);
   EXPECT_GE(s.commits, 1u);
+  // The abort-cause taxonomy partitions the legacy counter exactly, and
+  // tx.restart() is attributed to the user_restart cause.
+  EXPECT_EQ(s.conflictAbortTotal(), s.aborts);
+  EXPECT_EQ(s.abortsFor(sftree::obs::AbortCause::kUserRestart), 2u);
 }
 
 TEST_P(StmBasicTest, OperationBracketAccumulatesReadsAcrossRetries) {

@@ -70,8 +70,13 @@ TEST(ReadOnlyTxTest, WriteInsideRoPromotesAndStaysAtomic) {
   EXPECT_EQ(after.roPromotions, before.roPromotions + 1);
   EXPECT_EQ(after.roCommits, before.roCommits);  // committed as read-write
   EXPECT_EQ(after.commits, before.commits + 1);
-  // The promotion restart is not a conflict abort.
+  // The promotion restart is not a conflict abort — it lands in the
+  // taxonomy's restart band (ro_promotion) and stays out of the conflict
+  // partition, which must still sum to the legacy counter exactly.
   EXPECT_EQ(after.aborts, before.aborts);
+  EXPECT_EQ(after.abortsFor(sftree::obs::AbortCause::kRoPromotion),
+            before.abortsFor(sftree::obs::AbortCause::kRoPromotion) + 1);
+  EXPECT_EQ(after.conflictAbortTotal(), after.aborts);
 
   // The next ReadOnly operation starts in RO mode again (the promotion is
   // scoped to one operation).
