@@ -8,19 +8,25 @@
 #    targeted violation-queue maintenance, interleaved reps) consolidated
 #    into BENCH_maintpath.json;
 #  * observability overhead (obs_overhead: off vs always-on metrics vs
-#    enabled trace, interleaved reps) written to BENCH_obs.json.
+#    enabled trace, interleaved reps) written to BENCH_obs.json;
+#  * splay-under-skew A/B (splay_skew: uniform/Zipf x splay on/off,
+#    fresh tree per arm, plus the deterministic hot-set depth proxy)
+#    written to BENCH_splay.json.
 #
-#   bench/run_quick.sh [BUILD_DIR] [READPATH_JSON] [MAINTPATH_JSON] [OBS_JSON]
+#   bench/run_quick.sh [BUILD_DIR] [READPATH_JSON] [MAINTPATH_JSON] \
+#                      [OBS_JSON] [SPLAY_JSON]
 #
 # Defaults: BUILD_DIR=build, READPATH_JSON=BENCH_readpath.json,
-# MAINTPATH_JSON=BENCH_maintpath.json, OBS_JSON=BENCH_obs.json (in the
-# current directory). Requires jq for the merge.
+# MAINTPATH_JSON=BENCH_maintpath.json, OBS_JSON=BENCH_obs.json,
+# SPLAY_JSON=BENCH_splay.json (in the current directory). Requires jq for
+# the merge.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_readpath.json}"
 OUT_MAINT="${3:-BENCH_maintpath.json}"
 OUT_OBS="${4:-BENCH_obs.json}"
+OUT_SPLAY="${5:-BENCH_splay.json}"
 
 # Fail fast, before any partial output exists: a missing tool or bench
 # binary used to surface as a half-written JSON that the schema checker
@@ -37,7 +43,7 @@ if [[ ! -d "$BUILD_DIR" ]]; then
 fi
 missing=()
 for bin in fig3_microbench fig5b_move table1_reads ablation_maintenance \
-           obs_overhead; do
+           obs_overhead splay_skew; do
   [[ -x "$BUILD_DIR/$bin" ]] || missing+=("$bin")
 done
 if (( ${#missing[@]} > 0 )); then
@@ -119,3 +125,14 @@ cp "$TMP/obs.json" "$OUT_OBS.tmp.$$"
 mv "$OUT_OBS.tmp.$$" "$OUT_OBS"
 
 echo "overhead report written to $OUT_OBS"
+
+# Splay-under-skew gates: fig3-style mix, uniform vs Zipf(0.99), splaying
+# on vs off on fresh trees (interleaved reps, per-arm minima), plus the
+# single-threaded fixed-op depth proxy the schema checker gates
+# deterministically on any core count.
+"$BUILD_DIR/splay_skew" --reps=9 --threads=2 --duration-ms=200 \
+  --size-log=12 --det-ops=1000000 --json="$TMP/splay.json" >/dev/null
+cp "$TMP/splay.json" "$OUT_SPLAY.tmp.$$"
+mv "$OUT_SPLAY.tmp.$$" "$OUT_SPLAY"
+
+echo "splay skew report written to $OUT_SPLAY"

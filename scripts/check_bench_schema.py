@@ -30,6 +30,17 @@ build. Dispatch is on the top-level "bench" tag:
     every run. --fresh relaxes the ratio gates to 10%/20% for freshly
     generated reports on noisy shared runners; the committed baseline is
     always held to the strict bounds.
+  * splay_skew — field-presence checks plus the splay-under-skew gates
+    (BENCH_splay.json): with splaying on, the Zipf(0.99) mix must either
+    cut the hot set's mean access depth >= 1.5x (the deterministic proxy —
+    the converged tree shape does not depend on machine speed, so this
+    gate holds on any core count) or win >= 1.3x throughput; the uniform
+    mix must stay >= 0.95x parity (hysteresis: no churn without skew); the
+    read-path sampling must cost <= 2% on the pure-read probe; and the
+    deterministic arm must actually have performed splay steps. --fresh
+    relaxes the noise-exposed bounds (depth 1.3x / tput 1.15x / parity
+    0.85 / overhead 6%) for reports generated on shared runners; the
+    committed baseline is always held to the strict bounds.
   * maintpath — field-presence checks, the targeted-vs-sweep acceptance
     gates (targeted maintenance must do >= 1.5x less maintenance work per
     committed update than full sweeps, with final height within 1.5x), and,
@@ -229,6 +240,78 @@ def check_obs_overhead(top, fresh) -> None:
           "match")
 
 
+SPLAY_RECORD_KEYS = [
+    "arm", "rep", "ops", "seconds", "ns_per_op", "ops_per_us", "abort_ratio",
+]
+
+SPLAY_META_KEYS = [
+    "reps", "threads", "hw_concurrency", "duration_ms", "size_log",
+    "update_percent", "zipf_s", "det_ops", "hot_ranks", "zipf_tput_ratio",
+    "uniform_parity_ratio", "read_overhead_ratio", "hot_depth_off",
+    "hot_depth_on", "zipf_hot_depth_reduction", "pop_depth_off",
+    "pop_depth_on", "det_splay_steps",
+]
+
+SPLAY_ARMS = ("uniform_off", "uniform_on", "zipf_off", "zipf_on",
+              "read_off", "read_on")
+
+
+def check_splay(top, fresh) -> None:
+    check_repo_report(top, "splay_skew", SPLAY_RECORD_KEYS)
+    require(top["meta"], SPLAY_META_KEYS, "splay_skew.meta")
+    meta = top["meta"]
+
+    # Recompute the throughput ratios from per-arm minima over the
+    # interleaved reps (same robust-estimator rationale as obs_overhead)
+    # instead of trusting the meta block.
+    by_arm = {}
+    for rec in top["results"]:
+        by_arm.setdefault(rec["arm"], []).append(rec["ns_per_op"])
+    for arm in SPLAY_ARMS:
+        if not by_arm.get(arm):
+            fail(f"splay_skew has no '{arm}' records")
+        if min(by_arm[arm]) <= 0:
+            fail(f"splay_skew '{arm}' best ns/op is zero")
+    zipf_ratio = min(by_arm["zipf_off"]) / min(by_arm["zipf_on"])
+    parity = min(by_arm["uniform_off"]) / min(by_arm["uniform_on"])
+    overhead = min(by_arm["read_on"]) / min(by_arm["read_off"])
+    depth_red = meta["zipf_hot_depth_reduction"]
+
+    kind = "fresh" if fresh else "committed"
+    if meta["det_splay_steps"] <= 0:
+        fail("splay_skew: the deterministic arm performed zero splay steps "
+             "— the heuristic never engaged")
+
+    # Headline gate: pay under skew. Depth reduction is the deterministic
+    # proxy (converged tree shape, machine-speed independent); wall-clock
+    # throughput also satisfies the gate where the runner delivers it.
+    depth_bound = 1.3 if fresh else 1.5
+    tput_bound = 1.15 if fresh else 1.3
+    if depth_red < depth_bound and zipf_ratio < tput_bound:
+        fail(f"splaying pays neither in depth nor throughput under "
+             f"Zipf skew: hot-set depth reduction {depth_red:.2f}x "
+             f"(bound {depth_bound:.2f}) and throughput {zipf_ratio:.2f}x "
+             f"(bound {tput_bound:.2f}) for a {kind} report")
+
+    # Hysteresis gate: a uniform workload must not pay for the feature.
+    parity_bound = 0.85 if fresh else 0.95
+    if parity < parity_bound:
+        fail(f"splaying costs a uniform workload {parity:.3f}x parity "
+             f"(bound {parity_bound:.2f} for a {kind} report)")
+
+    # Read-path gate: the access-tick sampling itself (probe runs without
+    # the maintenance consumer; publishes dedup-absorb in the queue).
+    overhead_bound = 1.06 if fresh else 1.02
+    if overhead > overhead_bound:
+        fail(f"access-tick sampling costs {overhead:.3f}x on the pure-read "
+             f"probe (bound {overhead_bound:.2f} for a {kind} report)")
+
+    print(f"check_bench_schema: splay gates OK ({kind}) — depth reduction "
+          f"{depth_red:.2f}x, zipf tput {zipf_ratio:.2f}x, uniform parity "
+          f"{parity:.3f}, read overhead {overhead:.3f}x, "
+          f"{meta['det_splay_steps']} splay steps")
+
+
 MAINT_RECORD_KEYS = [
     "mode", "rep", "ops_per_us", "final_height", "committed_updates",
     "maint_nodes_visited", "visits_per_update", "maint_passes",
@@ -328,6 +411,8 @@ def main() -> None:
         check_reshard(top)
     elif top["bench"] == "obs_overhead":
         check_obs_overhead(top, args.fresh)
+    elif top["bench"] == "splay_skew":
+        check_splay(top, args.fresh)
     else:
         fail(f"unknown top-level bench tag '{top['bench']}'")
 

@@ -53,6 +53,7 @@ void emitViolationQueueStats(MetricSink& out, const std::string& prefix,
   out.counter(join(prefix, "drained"), s.drained);
   out.counter(join(prefix, "dropped"), s.dropped);
   out.counter(join(prefix, "overflows"), s.overflows);
+  out.counter(join(prefix, "absorbed_ticks"), s.absorbedTicks);
   out.gauge(join(prefix, "depth"), static_cast<double>(s.depth()));
   out.gauge(join(prefix, "mean_drain_latency_us"), s.meanDrainLatencyUs());
 }
@@ -67,6 +68,13 @@ void emitMaintenanceStats(MetricSink& out, const std::string& prefix,
   out.counter(join(prefix, "nodes_freed"), s.nodesFreed);
   out.counter(join(prefix, "nodes_retired"), s.nodesRetired);
   out.counter(join(prefix, "nodes_visited"), s.nodesVisited);
+  out.counter(join(prefix, "access_entries_drained"), s.accessEntriesDrained);
+  out.counter(join(prefix, "access_ticks_consumed"), s.accessTicksConsumed);
+  out.counter(join(prefix, "splay_steps"), s.splaySteps);
+  out.counter(join(prefix, "splay_zig_zigs"), s.splayZigZigs);
+  out.counter(join(prefix, "splay_budget_stops"), s.splayBudgetStops);
+  out.counter(join(prefix, "rebalance_skipped_hot"), s.rebalanceSkippedHot);
+  out.histogram(join(prefix, "access_depth"), s.accessDepth);
   out.histogram(join(prefix, "pass_ns"), s.passNs);
   emitViolationQueueStats(out, join(prefix, "queue"), s.queue);
 }

@@ -564,15 +564,35 @@ void ShardedMap::migrateSlots(trees::SFTree* src, trees::SFTree* dst,
   batch.reserve(cfg_.migrationBatch);
   std::uint64_t keys = 0;
   std::uint64_t batches = 0;
+  std::uint64_t shrinks = 0;
+  std::uint64_t grows = 0;
   const std::uint64_t dualVersion = table()->version;
   Key cursor = std::numeric_limits<Key>::min();
+  // Adaptive batch sizing (AIMD). A batch that aborted before committing
+  // collided with live traffic inside its conflict window — halve the next
+  // batch to narrow the window; two consecutive clean batches double it
+  // back toward the configured ceiling. Migration runs on this thread, so
+  // the thread's own conflict-abort counters on the involved domains
+  // isolate exactly this batch's aborts (see docs/observability.md on the
+  // single-writer thread-stats discipline).
+  std::size_t batchSize = cfg_.migrationBatch;
+  const std::size_t minBatch = std::min<std::size_t>(8, cfg_.migrationBatch);
+  int cleanStreak = 0;
+  const bool crossDomain = &src->domain() != &dst->domain();
+  const auto myAborts = [&]() -> std::uint64_t {
+    std::uint64_t a = stm::threadStats(src->domain()).conflictAbortTotal();
+    if (crossDomain) a += stm::threadStats(dst->domain()).conflictAbortTotal();
+    return a;
+  };
   for (bool done = false; !done;) {
     Key nextLo = cursor;
+    const std::uint64_t abortsBefore =
+        cfg_.adaptiveMigrationBatch ? myAborts() : 0;
     const std::uint64_t batchStart = obs::tick();
     const std::size_t adopted = stm::atomically(
         src->domain(), stm::TxKind::Normal, [&](stm::Tx& tx) -> std::size_t {
           const bool complete = src->extractRangeTx(
-              tx, cursor, cfg_.migrationBatch, pred, batch, nextLo);
+              tx, cursor, batchSize, pred, batch, nextLo);
           done = complete;
           if (batch.empty()) return 0;
           return dst->adoptRangeTx(tx, batch.data(), batch.size());
@@ -590,6 +610,19 @@ void ShardedMap::migrateSlots(trees::SFTree* src, trees::SFTree* dst,
     {
       std::lock_guard<std::mutex> lk(reshardStatsMu_);
       reshardStats_.migrationBatchNs.record(batchNs);
+    }
+    if (cfg_.adaptiveMigrationBatch) {
+      if (myAborts() != abortsBefore) {
+        cleanStreak = 0;
+        if (batchSize > minBatch) {
+          batchSize = std::max(minBatch, batchSize / 2);
+          ++shrinks;
+        }
+      } else if (++cleanStreak >= 2 && batchSize < cfg_.migrationBatch) {
+        cleanStreak = 0;
+        batchSize = std::min(cfg_.migrationBatch, batchSize * 2);
+        ++grows;
+      }
     }
   }
 
@@ -611,6 +644,8 @@ void ShardedMap::migrateSlots(trees::SFTree* src, trees::SFTree* dst,
   std::lock_guard<std::mutex> lk(reshardStatsMu_);
   reshardStats_.keysMigrated += keys;
   reshardStats_.migrationBatches += batches;
+  reshardStats_.batchShrinks += shrinks;
+  reshardStats_.batchGrows += grows;
 }
 
 int ShardedMap::splitShard(int idx) {
@@ -631,10 +666,19 @@ int ShardedMap::splitShard(int idx) {
   }
   if (owned.size() < 2) return -1;  // slot granularity reached
 
-  // Every other owned slot moves: if the heat is a run of adjacent slots,
-  // interleaving spreads it across both halves.
+  // Load-aware selection: rank the owned slots by their traffic gauges and
+  // move the alternating ranks starting with the hottest, so the fresh
+  // shard takes the hot slots off the overloaded tree and both halves end
+  // up with comparable measured load. stable_sort keeps all-equal ticks (a
+  // map that never measured traffic) at a deterministic index interleave.
+  std::stable_sort(owned.begin(), owned.end(), [&](int a, int b) {
+    return slotTicks_[static_cast<std::size_t>(a)].load(
+               std::memory_order_relaxed) >
+           slotTicks_[static_cast<std::size_t>(b)].load(
+               std::memory_order_relaxed);
+  });
   std::vector<int> movedSlots;
-  for (std::size_t i = 1; i < owned.size(); i += 2) {
+  for (std::size_t i = 0; i < owned.size(); i += 2) {
     movedSlots.push_back(owned[i]);
   }
 
@@ -830,6 +874,13 @@ ShardedMapStats ShardedMap::aggregatedStats() const {
     out.maintenance.nodesFreed += m.nodesFreed;
     out.maintenance.nodesRetired += m.nodesRetired;
     out.maintenance.nodesVisited += m.nodesVisited;
+    out.maintenance.accessEntriesDrained += m.accessEntriesDrained;
+    out.maintenance.accessTicksConsumed += m.accessTicksConsumed;
+    out.maintenance.splaySteps += m.splaySteps;
+    out.maintenance.splayZigZigs += m.splayZigZigs;
+    out.maintenance.splayBudgetStops += m.splayBudgetStops;
+    out.maintenance.rebalanceSkippedHot += m.rebalanceSkippedHot;
+    out.maintenance.accessDepth += m.accessDepth;
     out.maintenance.passNs += m.passNs;
     out.maintenance.queue.captured += m.queue.captured;
     out.maintenance.queue.enqueued += m.queue.enqueued;
@@ -837,6 +888,7 @@ ShardedMapStats ShardedMap::aggregatedStats() const {
     out.maintenance.queue.drained += m.queue.drained;
     out.maintenance.queue.dropped += m.queue.dropped;
     out.maintenance.queue.overflows += m.queue.overflows;
+    out.maintenance.queue.absorbedTicks += m.queue.absorbedTicks;
     out.maintenance.queue.drainLatencyUsSum += m.queue.drainLatencyUsSum;
   }
   out.slotOpTicks.reserve(static_cast<std::size_t>(cfg_.routingSlots));
@@ -876,6 +928,8 @@ obs::MetricsRegistry::Registration ShardedMap::registerMetrics(
     out.counter("reshard.merges", r.merges);
     out.counter("reshard.keys_migrated", r.keysMigrated);
     out.counter("reshard.migration_batches", r.migrationBatches);
+    out.counter("reshard.batch_shrinks", r.batchShrinks);
+    out.counter("reshard.batch_grows", r.batchGrows);
     out.counter("reshard.table_publishes", r.tablePublishes);
     out.counter("reshard.retired_arena_bytes", r.retiredArenaBytes);
     out.counter("reshard.retired_live_blocks", r.retiredLiveBlocks);

@@ -73,6 +73,13 @@ struct ShardedMapConfig {
   // batches amortize the cross-domain commit better but widen the conflict
   // window against concurrent mutators.
   std::size_t migrationBatch = 64;
+  // Adapt the batch size to observed abort pressure (AIMD): each migration
+  // batch that aborted at least once before committing halves the next
+  // batch (floor min(8, migrationBatch)); two consecutive clean batches
+  // double it back toward the configured ceiling. The abort signal is the
+  // migrating thread's own conflict-abort counters on the involved domains
+  // (migration runs on the caller thread, so the delta isolates the batch).
+  bool adaptiveMigrationBatch = true;
   // Per-shard tree configuration. When a scheduler is supplied,
   // tree.startMaintenance is ignored: shards are built externally
   // maintained and registered with the scheduler instead. tree.domain is
@@ -129,6 +136,11 @@ struct ReshardStats {
   std::uint64_t keysMigrated = 0;
   std::uint64_t migrationBatches = 0;
   std::uint64_t tablePublishes = 0;
+  // Adaptive-batch (AIMD) decisions: halvings under abort pressure and
+  // re-doublings after clean streaks (see
+  // ShardedMapConfig::adaptiveMigrationBatch).
+  std::uint64_t batchShrinks = 0;
+  std::uint64_t batchGrows = 0;
   // Arena footprint (bytes) and still-live blocks of the trees retired by
   // merges, sampled just before destruction (the "drain" the retirement
   // frees wholesale).
@@ -222,11 +234,16 @@ class ShardedMap final : public trees::ITransactionalMap {
   // Racy per-shard load snapshot for the re-sharding policy.
   std::vector<ShardLoadSample> loadSamples() const;
 
-  // Splits shard `idx`: half of its routing slots (every other one, so a
-  // hot slot run spreads) migrate onto a freshly created tree (and domain,
-  // in PerShard mode) while traffic continues. Blocks until the migration
-  // has settled. Returns the new shard's index, or -1 when the shard owns
-  // a single slot (cannot split further) or `idx` is stale/out of range.
+  // Splits shard `idx`: half of its routing slots migrate onto a freshly
+  // created tree (and domain, in PerShard mode) while traffic continues.
+  // Slot selection is load-aware: the shard's slots are ranked by their
+  // slotOpTicks traffic gauges and the alternating ranks (hottest first)
+  // move, so the split peels the *hot* slots onto the fresh shard and both
+  // halves end up with balanced measured load (ticks all equal — e.g. a
+  // fresh map — degrades to a stable index interleave). Blocks until the
+  // migration has settled. Returns the new shard's index, or -1 when the
+  // shard owns a single slot (cannot split further) or `idx` is
+  // stale/out of range.
   int splitShard(int idx);
   // Migrates every slot of shard `victimIdx` onto shard `targetIdx`, then
   // retires the empty tree (unregisters maintenance, awaits domain

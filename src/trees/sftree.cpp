@@ -33,6 +33,15 @@ SFTree::SFTree(SFTreeConfig cfg)
   // no-restructuring baseline must not accumulate queue entries.
   captureViolations_ =
       cfg_.targetedMaintenance && (cfg_.rotations || cfg_.removals);
+  // Splaying needs both the queue (access ticks ride it) and rotations (the
+  // promotions are rotations); anything less degrades to Off.
+  splayEnabled_ = cfg_.splay != SplayPolicy::Off && cfg_.rotations &&
+                  captureViolations_;
+  splay_ = cfg_.splayParams();
+  if (splay_.decayHalfLifeNs == 0) splay_.decayHalfLifeNs = 1;
+  if (splay_.promoteDen == 0) splay_.promoteDen = 1;
+  accessSampleMask_ = (std::uint32_t{1} << splay_.sampleShift) - 1;
+  createdTick_ = obs::tick();
   pathBuf_.reserve(64);
   if (cfg_.startMaintenance && (cfg_.rotations || cfg_.removals)) {
     startMaintenance();
@@ -162,7 +171,10 @@ bool SFTree::containsTx(stm::Tx& tx, Key k) {
   gc::txOpGuard(tx, registry_);
   SFNode* curr = find(tx, k);
   if (curr->key != k) return false;
-  return !curr->deleted.read(tx);
+  if (curr->deleted.read(tx)) return false;
+  // Lookup hit: feed the splay heuristic (sampled; no-op when disabled).
+  captureAccess(tx, k);
+  return true;
 }
 
 std::optional<Value> SFTree::getTx(stm::Tx& tx, Key k) {
@@ -171,6 +183,7 @@ std::optional<Value> SFTree::getTx(stm::Tx& tx, Key k) {
   SFNode* curr = find(tx, k);
   if (curr->key != k) return std::nullopt;
   if (curr->deleted.read(tx)) return std::nullopt;
+  captureAccess(tx, k);
   return curr->value.read(tx);
 }
 
@@ -212,7 +225,7 @@ bool SFTree::insertTx(stm::Tx& tx, Key k, Value v) {
   updateTicks_.fetch_add(1, std::memory_order_relaxed);
   // The fresh leaf may unbalance its ancestors: hand the key to the
   // maintenance side once (and only once) this transaction commits.
-  captureViolation(tx, k);
+  captureViolation(tx, k, ViolationKind::kInsert);
   return true;
 }
 
@@ -237,7 +250,7 @@ bool SFTree::eraseTx(stm::Tx& tx, Key k) {
   updateTicks_.fetch_add(1, std::memory_order_relaxed);
   // A logically deleted node is a physical-removal candidate: publish it
   // to the maintenance side at commit.
-  captureViolation(tx, k);
+  captureViolation(tx, k, ViolationKind::kErase);
   return true;
 }
 
@@ -311,7 +324,7 @@ bool SFTree::extractWalk(stm::Tx& tx, SFNode* n, Key lo, ExtractCtx& c) {
       n->deleted.write(tx, true);
       // The logically deleted node is a physical-removal candidate for this
       // tree's maintenance, exactly as after eraseTx.
-      captureViolation(tx, n->key);
+      captureViolation(tx, n->key, ViolationKind::kErase);
     }
   }
   return extractWalk(tx, n->right.read(tx), lo, c);
@@ -512,6 +525,11 @@ SFTree::StructuralResult SFTree::rotateRight(stm::Tx& tx, SFNode* parent,
     nn->leftH = l->rightH;
     nn->rightH = n->rightH;
     nn->localH = std::max(nn->leftH, nn->rightH) + 1;
+    // The copy inherits the original's heat: demotion must not double as a
+    // heat reset, or splay promotions would erase the very signal that
+    // protects the node from churn.
+    nn->heat = n->heat;
+    nn->heatEpoch = n->heatEpoch;
     l->right.write(tx, nn);
     n->removed.write(tx, RemState::Removed);
     l->rightH = nn->localH;
@@ -554,6 +572,8 @@ SFTree::StructuralResult SFTree::rotateLeft(stm::Tx& tx, SFNode* parent,
     nn->leftH = n->leftH;
     nn->rightH = r->leftH;
     nn->localH = std::max(nn->leftH, nn->rightH) + 1;
+    nn->heat = n->heat;
+    nn->heatEpoch = n->heatEpoch;
     r->left.write(tx, nn);
     // A node removed by a *left* rotation is replaced by a copy living in
     // its right subtree; find() must know to go right on a key match.
@@ -628,12 +648,41 @@ void SFTree::retireNode(SFNode* n) {
   ++maintStats_.nodesRetired;
 }
 
-void SFTree::captureViolation(stm::Tx& tx, Key k) {
+void SFTree::captureViolation(stm::Tx& tx, Key k, ViolationKind kind) {
   if (!captureViolations_) return;
   // Runs when the (outermost, for composed operations) transaction commits;
   // dropped on abort. The hook captures only the key — entries must not
   // dangle into nodes the maintenance side may retire.
-  tx.onCommit([this, k] { violations_.publish(k); });
+  tx.onCommit([this, k, kind] { violations_.publish(k, kind); });
+}
+
+void SFTree::captureAccess(stm::Tx& tx, Key k) {
+  if (!splayEnabled_) return;
+  // Per-thread 1-in-2^shift sampling, shared across trees: the counter costs
+  // one TLS increment per hit, and only sampled hits pay the commit hook +
+  // queue publish. The heat estimate is lossy by design, so approximate
+  // per-tree rates under interleaved multi-tree traffic are fine.
+  static thread_local std::uint32_t sampleCtr = 0;
+  if ((++sampleCtr & accessSampleMask_) != 0) return;
+  tx.onCommit([this, k] { violations_.publish(k, ViolationKind::kAccess); });
+}
+
+std::uint32_t SFTree::decayedHeat(const SFNode* n) const {
+  // heatEpoch only moves forward and only the maintenance worker writes it,
+  // so the delta is non-negative.
+  const std::uint32_t delta = heatEpochNow_ - n->heatEpoch;
+  if (delta == 0) return n->heat;
+  return delta >= 32 ? 0 : (n->heat >> delta);
+}
+
+void SFTree::bumpHeat(SFNode* n, std::uint32_t ticks) {
+  // Normalize to the current epoch, then saturate well below overflow so a
+  // pathological burst cannot wrap the estimate.
+  constexpr std::uint32_t kHeatCap = std::uint32_t{1} << 24;
+  const std::uint64_t h =
+      static_cast<std::uint64_t>(decayedHeat(n)) + ticks;
+  n->heatEpoch = heatEpochNow_;
+  n->heat = static_cast<std::uint32_t>(std::min<std::uint64_t>(h, kHeatCap));
 }
 
 // --------------------------------------------------------------------------
@@ -685,6 +734,15 @@ bool SFTree::runMaintenancePass(const std::atomic<bool>* cancel) {
 
 bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
   const std::uint64_t passStart = obs::tick();
+  if (splayEnabled_) {
+    // One decay-epoch refresh and one fresh rotation budget per pass: every
+    // heat comparison inside the pass sees a consistent epoch, and the
+    // budget caps the pass's promotion latency no matter how hot the queue.
+    heatEpochNow_ = static_cast<std::uint32_t>(
+        obs::ticksToNs(passStart - createdTick_) / splay_.decayHalfLifeNs);
+    splayBudgetLeft_ = splay_.rotationBudget;
+    splayBudgetHit_ = false;
+  }
   limbo_.openEpoch(registry_);
   bool didWork = false;
   if (cfg_.targetedMaintenance) {
@@ -707,6 +765,10 @@ bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
     maintStats_.passNs.record(passNs);
     ++maintStats_.traversals;
     if (fullSweep) ++maintStats_.fullSweeps;
+    if (splayBudgetHit_) {
+      ++maintStats_.splayBudgetStops;
+      splayBudgetHit_ = false;
+    }
     maintStats_.nodesFreed = limbo_.freedTotal();
     // passVisited_ is worker-private; fold it into the guarded stats once
     // per pass so visits cost no synchronization per node.
@@ -725,14 +787,15 @@ bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
 // --------------------------------------------------------------------------
 bool SFTree::drainViolations(const std::atomic<bool>* cancel) {
   bool didWork = false;
-  violations_.drain([&](Key k) {
-    processViolation(k, didWork);
+  violations_.drain([&](Key k, ViolationKind kind, std::uint32_t weight) {
+    processViolation(k, kind, weight, didWork);
     return cancel == nullptr || !cancel->load(std::memory_order_relaxed);
   });
   return didWork;
 }
 
-void SFTree::processViolation(Key k, bool& didWork) {
+void SFTree::processViolation(Key k, ViolationKind kind, std::uint32_t ticks,
+                              bool& didWork) {
   // Root-path walk to k's position, recording the path. The walk can only
   // meet reachable (never removed) nodes; nodes this pass itself retires
   // stay readable until a later pass's collection epoch.
@@ -749,15 +812,56 @@ void SFTree::processViolation(Key k, bool& didWork) {
     node = leftChild ? node->left.loadAcquire() : node->right.loadAcquire();
     if (++steps > kMaintenanceDepthLimit) return;  // defensive
   }
-  if (node != nullptr) {
-    ++passVisited_;
-    // Physical removal first (the transaction re-checks everything; the
-    // flags are only hints), then local rebalance of whatever holds the
-    // position now.
-    while (tryRemoveAt(parent, node, leftChild, didWork)) {
+
+  if (kind == ViolationKind::kAccess) {
+    // Heat fold + bounded promotion. A stale tick (key physically removed
+    // or logically deleted since the sampled lookup) is simply dropped —
+    // the estimate is lossy by contract, and nothing structural is owed.
+    {
+      std::lock_guard<std::mutex> lk(maintStatsMu_);
+      ++maintStats_.accessEntriesDrained;
+      if (node != nullptr) {
+        maintStats_.accessTicksConsumed += ticks;
+        maintStats_.accessDepth.record(pathBuf_.size() + 1);
+      }
     }
-    if (node != nullptr) rebalanceAt(parent, node, leftChild, didWork);
+    if (node == nullptr) return;
+    ++passVisited_;
+    if (node->deleted.loadAcquire()) return;
+    bumpHeat(node, ticks);
+    splayPromote(parent, node, leftChild, didWork);
+    // Promotions changed subtree shapes under the remaining ancestors:
+    // refresh their estimates bottom-up (breaks immediately when nothing
+    // was promoted).
+    for (auto it = pathBuf_.rbegin(); it != pathBuf_.rend(); ++it) {
+      ++passVisited_;
+      if (!rebalanceAt(it->parent, it->node, it->leftChild, didWork)) break;
+    }
+    return;
   }
+
+  if (kind == ViolationKind::kErase) {
+    // Pure-removal repair: probe the unlink, and only climb when something
+    // was actually removed — a refused removal (two children, flag cleared
+    // by a revive, node already gone) left every height untouched, so the
+    // bottom-up walk would terminate at its first level anyway.
+    if (node == nullptr) return;
+    ++passVisited_;
+    bool removedAny = false;
+    while (tryRemoveAt(parent, node, leftChild, didWork)) {
+      removedAny = true;
+    }
+    if (!removedAny) return;
+    if (node != nullptr) rebalanceAt(parent, node, leftChild, didWork);
+  } else {
+    // kInsert: the fresh leaf cannot itself need removal (any later erase
+    // queued its own kErase entry), so go straight to the rebalance.
+    if (node != nullptr) {
+      ++passVisited_;
+      rebalanceAt(parent, node, leftChild, didWork);
+    }
+  }
+
   // Bottom-up along the recorded root-path: refresh the balance estimates
   // and rotate where the AVL bound is violated. A rotation at a deeper
   // position only replaces that position's subtree root, so the recorded
@@ -777,6 +881,100 @@ void SFTree::processViolation(Key k, bool& didWork) {
                                   didWork);
     }
     if (!levelChanged) break;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Semantic splaying (docs/splaying.md): rotate a hot node toward the root in
+// the same node-local maintenance transactions the rebalancer uses, so the
+// promotion work — like all restructuring in this tree — stays off the
+// abort-prone application path. Each zig is one rotation at the *parent's*
+// position that lifts `node` over its parent (our rotation primitives lift
+// the named child intact and demote-copy the parent, so `node` survives
+// every step). Aligned double-links additionally take the classic zig-zig
+// shortcut: lift the parent over the grandparent first, which straightens
+// the path so the follow-up zig leaves the subtree better balanced than two
+// independent single rotations would.
+// --------------------------------------------------------------------------
+void SFTree::splayPromote(SFNode*& parent, SFNode*& node, bool& leftChild,
+                          bool& didWork) {
+  if (!splayEnabled_) return;
+  bool zigzigArmed = false;  // previous iteration lifted our parent (half a
+                             // zig-zig); the next zig completes the pair
+  while (pathBuf_.size() > static_cast<std::size_t>(splay_.minDepth)) {
+    const std::uint64_t nh = decayedHeat(node);
+    if (nh < splay_.minHeat) break;  // hysteresis floor
+    PathStep& par = pathBuf_.back();
+    // Dominance margin: only promote past a parent the node is num/den
+    // hotter than, so two comparably hot keys do not thrash one position.
+    if (nh * splay_.promoteDen <=
+        static_cast<std::uint64_t>(decayedHeat(par.node)) * splay_.promoteNum) {
+      break;
+    }
+    if (splayBudgetLeft_ == 0) {
+      splayBudgetHit_ = true;
+      break;
+    }
+    // Zig-zig head start: when the two links are aligned and the node also
+    // dominates its grandparent, rotate the grandparent first.
+    if (!zigzigArmed && splayBudgetLeft_ >= 2 &&
+        pathBuf_.size() > static_cast<std::size_t>(splay_.minDepth) + 1 &&
+        par.leftChild == leftChild) {
+      PathStep& gp = pathBuf_[pathBuf_.size() - 2];
+      if (nh * splay_.promoteDen >
+          static_cast<std::uint64_t>(decayedHeat(gp.node)) *
+              splay_.promoteNum) {
+        const bool ok = leftChild ? tryRotateRight(gp.parent, gp.leftChild)
+                                  : tryRotateLeft(gp.parent, gp.leftChild);
+        if (!ok) {
+          std::lock_guard<std::mutex> lk(maintStatsMu_);
+          ++maintStats_.failedStructuralOps;
+          break;
+        }
+        didWork = true;
+        --splayBudgetLeft_;
+        // The parent now owns the grandparent's position; `node` is still
+        // its `leftChild`-side child. Rewrite the tail of the path to match
+        // and let the generic zig below finish the pair.
+        const PathStep lifted{gp.parent, par.node, gp.leftChild};
+        pathBuf_.pop_back();
+        pathBuf_.back() = lifted;
+        {
+          std::lock_guard<std::mutex> lk(maintStatsMu_);
+          ++maintStats_.rotations;
+          ++maintStats_.splaySteps;
+        }
+        zigzigArmed = true;
+        continue;
+      }
+    }
+    // Zig: lift `node` over its parent at the parent's position.
+    const PathStep ps = par;
+    const bool ok = leftChild ? tryRotateRight(ps.parent, ps.leftChild)
+                              : tryRotateLeft(ps.parent, ps.leftChild);
+    if (!ok) {
+      std::lock_guard<std::mutex> lk(maintStatsMu_);
+      ++maintStats_.failedStructuralOps;
+      break;
+    }
+    didWork = true;
+    --splayBudgetLeft_;
+    pathBuf_.pop_back();
+    parent = ps.parent;
+    leftChild = ps.leftChild;
+    {
+      std::lock_guard<std::mutex> lk(maintStatsMu_);
+      ++maintStats_.splaySteps;
+      ++maintStats_.rotations;
+      if (zigzigArmed) ++maintStats_.splayZigZigs;
+    }
+    if (obs::traceEnabled()) {
+      obs::trace(obs::TraceKind::kSplayStep,
+                 static_cast<std::uint64_t>(node->key),
+                 static_cast<std::uint64_t>(pathBuf_.size() + 1), 0,
+                 zigzigArmed ? 1 : 0);
+    }
+    zigzigArmed = false;
   }
 }
 
@@ -823,6 +1021,21 @@ bool SFTree::rebalanceAt(SFNode* parent, SFNode* node, bool leftChild,
   node->localH = std::max(lh, rh) + 1;
 
   if (!cfg_.rotations) return heightChanged;
+  // Hot-protection slack (docs/splaying.md): the demoting rotation below
+  // would push a splay-promoted node back down, so while a node is hot its
+  // AVL bound is relaxed by `slack` levels — beyond that, balance wins
+  // (lookups of everything routed through this subtree pay the skew).
+  // Applies to sweeps too: the fallback sweep must not undo what the
+  // targeted pass just promoted.
+  if (splayEnabled_) {
+    const int imb = lh > rh ? lh - rh : rh - lh;
+    if (imb > 1 && imb <= 1 + splay_.slack &&
+        decayedHeat(node) >= splay_.minHeat) {
+      std::lock_guard<std::mutex> lk(maintStatsMu_);
+      ++maintStats_.rebalanceSkippedHot;
+      return heightChanged;
+    }
+  }
   if (lh - rh > 1) {
     // Left-heavy. If the left child leans right, first rotate it left so a
     // single right rotation at `node` balances (two node-local

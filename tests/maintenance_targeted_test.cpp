@@ -132,16 +132,18 @@ TEST(MaintenanceTargetedTest, CaptureIsCommittedAndDeduped) {
   EXPECT_EQ(tree.maintenanceStats().queue.captured, 1u);
 
   // Churn one key without draining: every erase is a capture (revives are
-  // abstraction-only and publish nothing), and all of them dedup against
-  // the claim the initial insert left pending.
+  // abstraction-only and publish nothing). The dedup claim spaces are per
+  // kind — an erase must never be absorbed into a pending *insert* entry,
+  // whose repair skips the removal probe — so the first erase enqueues a
+  // second entry and the remaining 99 dedup against the kErase claim.
   for (int i = 0; i < 100; ++i) {
     tree.erase(1);
     tree.insert(1, 1);
   }
   const auto q = tree.maintenanceStats().queue;
   EXPECT_EQ(q.captured, 101u);
-  EXPECT_EQ(q.enqueued, 1u);
-  EXPECT_EQ(q.deduped, 100u);
+  EXPECT_EQ(q.enqueued, 2u);
+  EXPECT_EQ(q.deduped, 99u);
   EXPECT_EQ(q.enqueued + q.deduped + q.dropped, q.captured);
   EXPECT_LE(tree.violationQueueDepth(), 2u);
 
@@ -235,13 +237,60 @@ TEST(MaintenanceTargetedTest, QueueCountersConsistentUnderConcurrentPublish) {
   for (auto& th : threads) th.join();
 
   std::uint64_t consumed = 0;
-  consumed += q.drain([](Key) { return true; });
+  consumed += q.drain(
+      [](Key, trees::ViolationKind, std::uint32_t) { return true; });
   const auto st = q.stats();
   EXPECT_EQ(st.captured,
             static_cast<std::uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(st.enqueued + st.deduped + st.dropped, st.captured);
   EXPECT_EQ(st.drained, consumed);
   EXPECT_EQ(q.depth(), 0u);
+}
+
+// Per-kind claim spaces: an entry of one kind never absorbs a capture of
+// another (dedup may suppress duplicates, never lose a violation), and
+// deduped access captures are preserved as weight on the pending entry.
+TEST(MaintenanceTargetedTest, QueueKindsDedupIndependentlyAndWeighAccess) {
+  trees::ViolationQueue q;
+  EXPECT_TRUE(q.publish(7, trees::ViolationKind::kInsert));
+  // Same key, different kind: must enqueue, not dedup against the insert.
+  EXPECT_TRUE(q.publish(7, trees::ViolationKind::kErase));
+  // Same key and kind: dedups.
+  EXPECT_FALSE(q.publish(7, trees::ViolationKind::kInsert));
+
+  // Access ticks: the first capture enqueues, the next five are absorbed
+  // into the pending entry's weight instead of vanishing.
+  EXPECT_TRUE(q.publish(7, trees::ViolationKind::kAccess));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(q.publish(7, trees::ViolationKind::kAccess));
+  }
+
+  std::uint32_t accessWeight = 0;
+  std::uint64_t structuralWeight = 0;
+  std::size_t entries = 0;
+  q.drain([&](Key k, trees::ViolationKind kind, std::uint32_t weight) {
+    EXPECT_EQ(k, 7);
+    ++entries;
+    if (kind == trees::ViolationKind::kAccess) {
+      accessWeight += weight;
+    } else {
+      structuralWeight += weight;
+    }
+    return true;
+  });
+  EXPECT_EQ(entries, 3u);
+  EXPECT_EQ(accessWeight, 6u);      // 1 entry + 5 absorbed ticks
+  EXPECT_EQ(structuralWeight, 2u);  // structural kinds always weigh 1
+
+  const auto st = q.stats();
+  EXPECT_EQ(st.captured, 9u);
+  EXPECT_EQ(st.enqueued, 3u);
+  EXPECT_EQ(st.deduped, 6u);
+  EXPECT_EQ(st.absorbedTicks, 5u);
+  EXPECT_EQ(q.depth(), 0u);
+
+  // With the claims released by the drain, fresh captures enqueue again.
+  EXPECT_TRUE(q.publish(7, trees::ViolationKind::kAccess));
 }
 
 }  // namespace

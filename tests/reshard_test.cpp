@@ -379,4 +379,36 @@ TEST(ReshardTest, ControllerSplitsHotShardAndMergesCold) {
   EXPECT_GE(ctl.stats().merges, 1u);
 }
 
+// Load-aware slot selection: splitShard ranks the victim's slots by their
+// slotOpTicks gauges and peels the hottest ones onto the fresh shard, so a
+// single scorching slot must land on the new tree — not stay behind by the
+// luck of an index interleave.
+TEST(ReshardTest, SplitPeelsHottestSlotOntoNewShard) {
+  shard::MaintenanceScheduler scheduler;
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 2;
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  // Background traffic so every slot has a nonzero gauge, then one key
+  // hammered hard enough that its slot dominates any interleaving noise.
+  constexpr Key kKeys = 2'000;
+  for (Key k = 0; k < kKeys; ++k) ASSERT_TRUE(map.insert(k, k));
+  const Key hotKey = 1'234;
+  for (int i = 0; i < 20'000; ++i) ASSERT_TRUE(map.contains(hotKey));
+
+  const auto ticks = map.aggregatedStats().slotOpTicks;
+  const int hotSlot = static_cast<int>(std::distance(
+      ticks.begin(), std::max_element(ticks.begin(), ticks.end())));
+  const int victim = map.slotOwners()[hotSlot];
+
+  const int newIdx = map.splitShard(victim);
+  ASSERT_GE(newIdx, 0);
+  EXPECT_EQ(map.slotOwners()[hotSlot], newIdx)
+      << "the hottest slot stayed on the split shard";
+  // The abstraction is untouched by the load-aware selection.
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(map.sizeEstimate(), static_cast<std::int64_t>(kKeys));
+}
+
 }  // namespace
