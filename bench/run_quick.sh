@@ -11,15 +11,18 @@
 #    enabled trace, interleaved reps) written to BENCH_obs.json;
 #  * splay-under-skew A/B (splay_skew: uniform/Zipf x splay on/off,
 #    fresh tree per arm, plus the deterministic hot-set depth proxy)
-#    written to BENCH_splay.json.
+#    written to BENCH_splay.json;
+#  * serving tier (serving_ycsb: batched-vs-per-op amortization proxy plus
+#    the open-loop Poisson SLO sweep over YCSB A/B/C mixes) written to
+#    BENCH_serving.json.
 #
 #   bench/run_quick.sh [BUILD_DIR] [READPATH_JSON] [MAINTPATH_JSON] \
-#                      [OBS_JSON] [SPLAY_JSON]
+#                      [OBS_JSON] [SPLAY_JSON] [SERVING_JSON]
 #
 # Defaults: BUILD_DIR=build, READPATH_JSON=BENCH_readpath.json,
 # MAINTPATH_JSON=BENCH_maintpath.json, OBS_JSON=BENCH_obs.json,
-# SPLAY_JSON=BENCH_splay.json (in the current directory). Requires jq for
-# the merge.
+# SPLAY_JSON=BENCH_splay.json, SERVING_JSON=BENCH_serving.json (in the
+# current directory). Requires jq for the merge.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -27,6 +30,7 @@ OUT="${2:-BENCH_readpath.json}"
 OUT_MAINT="${3:-BENCH_maintpath.json}"
 OUT_OBS="${4:-BENCH_obs.json}"
 OUT_SPLAY="${5:-BENCH_splay.json}"
+OUT_SERVING="${6:-BENCH_serving.json}"
 
 # Fail fast, before any partial output exists: a missing tool or bench
 # binary used to surface as a half-written JSON that the schema checker
@@ -43,7 +47,7 @@ if [[ ! -d "$BUILD_DIR" ]]; then
 fi
 missing=()
 for bin in fig3_microbench fig5b_move table1_reads ablation_maintenance \
-           obs_overhead splay_skew; do
+           obs_overhead splay_skew serving_ycsb; do
   [[ -x "$BUILD_DIR/$bin" ]] || missing+=("$bin")
 done
 if (( ${#missing[@]} > 0 )); then
@@ -136,3 +140,13 @@ cp "$TMP/splay.json" "$OUT_SPLAY.tmp.$$"
 mv "$OUT_SPLAY.tmp.$$" "$OUT_SPLAY"
 
 echo "splay skew report written to $OUT_SPLAY"
+
+# Serving-tier gates: batched-vs-per-op amortization at equal offered load
+# (the deterministic proxy the schema checker gates on any core count) plus
+# the open-loop Poisson sweep per YCSB mix and key distribution.
+"$BUILD_DIR/serving_ycsb" --ops=40000 --reps=3 --rates=10000,30000 \
+  --openloop-ms=150 --json="$TMP/serving.json" >/dev/null
+cp "$TMP/serving.json" "$OUT_SERVING.tmp.$$"
+mv "$OUT_SERVING.tmp.$$" "$OUT_SERVING"
+
+echo "serving report written to $OUT_SERVING"

@@ -1,0 +1,387 @@
+// Serving-tier benchmark: batch amortization plus an open-loop SLO sweep.
+//
+// Two phases, one report (--json=BENCH_serving.json, bench tag
+// "serving_ycsb"; records are discriminated by "kind"):
+//
+//   1. Amortization proxy (gated): burst-submit a YCSB-B-like mix (95%
+//      reads) through the tier twice at equal offered load — once with
+//      transaction coalescing (batched arm) and once degenerated to one
+//      transaction per request (per_op arm, batch size 1) — and compare
+//      completion rates. The arms differ ONLY in batching, so the ratio
+//      isolates the per-transaction begin/validate/commit overhead the
+//      batch amortizes; it is the deterministic-proxy gate (the reshard
+//      bench precedent) and stays meaningful on a 1-core container where
+//      raw parallel throughput is noise. Per-rep key conservation
+//      (initial + inserts - erases == final size) is asserted and recorded.
+//
+//   2. Open-loop SLO sweep: a Poisson arrival stream (exponential
+//      inter-arrival times, submissions never wait for completions) at a
+//      sweep of offered rates, over YCSB A/B/C-like mixes and uniform/Zipf
+//      key distributions. Each cell reports achieved rate, p50/p99/p999
+//      enqueue-to-completion latency from the tier's obs::LogHistograms,
+//      and queue depth; per (mix, dist) the report derives
+//      max_sustained_per_s — the highest offered rate whose p99 met the
+//      SLO with no admission rejects and >= 95% of offered load achieved.
+//
+// Container-scale defaults; paper-scale with e.g.
+//   serving_ycsb --ops=200000 --reps=5 --rates=50000,100000,200000 \
+//                --openloop-ms=2000 --json=BENCH_serving.json
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_core/cli.hpp"
+#include "bench_core/harness.hpp"
+#include "bench_core/report.hpp"
+#include "bench_core/rng.hpp"
+#include "bench_core/workload.hpp"
+#include "obs/clock.hpp"
+#include "serve/serving.hpp"
+#include "shard/sharded_map.hpp"
+
+namespace {
+
+using sftree::Key;
+using sftree::bench::Cli;
+using sftree::bench::JsonReport;
+using sftree::bench::Rng;
+using sftree::bench::Table;
+using sftree::bench::ZipfKeys;
+using sftree::serve::OpKind;
+using sftree::serve::Request;
+using sftree::serve::ServingTier;
+using sftree::serve::ServingTierConfig;
+using sftree::serve::ServingTierStats;
+using sftree::shard::ShardedMap;
+using sftree::shard::ShardedMapConfig;
+
+struct Mix {
+  const char* name;
+  int readPct;  // get/contains share; the rest splits insert/erase evenly
+};
+
+// YCSB-like point-op mixes (A: update-heavy, B: read-mostly, C: read-only).
+constexpr Mix kMixes[] = {{"ycsb_a", 50}, {"ycsb_b", 95}, {"ycsb_c", 100}};
+
+Request nextRequest(Rng& rng, const ZipfKeys* zipf, std::int64_t keyRange,
+                    int readPct) {
+  Request r;
+  r.key = zipf != nullptr
+              ? zipf->pick(rng)
+              : static_cast<Key>(
+                    rng.nextBounded(static_cast<std::uint64_t>(keyRange)));
+  if (static_cast<int>(rng.nextBounded(100)) < readPct) {
+    r.op = rng.nextBool() ? OpKind::kGet : OpKind::kContains;
+  } else {
+    r.op = rng.nextBool() ? OpKind::kInsert : OpKind::kErase;
+    r.value = r.key;
+  }
+  return r;
+}
+
+std::unique_ptr<ShardedMap> makeMap(int shards, std::int64_t keyRange,
+                                    std::int64_t initialSize,
+                                    std::uint64_t seed) {
+  ShardedMapConfig mc;
+  mc.shards = shards;
+  auto map = std::make_unique<ShardedMap>(mc);
+  sftree::bench::RunConfig rc;
+  rc.workload.keyRange = keyRange;
+  rc.initialSize = initialSize;
+  rc.seed = seed;
+  sftree::bench::populate(*map, rc);
+  return map;
+}
+
+struct AmortResult {
+  double seconds = 0;
+  double perSecond = 0;
+  bool keysConserved = false;
+  ServingTierStats stats;
+};
+
+// One amortization rep: burst-submit `ops` requests of the mix through a
+// fresh map + tier, wait for every future, and audit key conservation
+// against the completed results.
+AmortResult runAmortArm(std::size_t batchSize, std::int64_t ops, int shards,
+                        std::int64_t keyRange, std::int64_t initialSize,
+                        int readPct, std::uint64_t seed) {
+  auto map = makeMap(shards, keyRange, initialSize, seed);
+  ServingTierConfig tc;
+  tc.batchSize = batchSize;
+  tc.adaptiveBatch = false;  // the arm IS the batch size; do not adapt away
+  tc.queueCapacity = 0;      // unbounded: equal offered load, no rejects
+  ServingTier tier(*map, tc);
+
+  Rng rng(seed * 7919 + 13);
+  std::vector<sftree::serve::Future> futs;
+  futs.reserve(static_cast<std::size_t>(ops));
+  const std::uint64_t t0 = sftree::obs::nowNs();
+  for (std::int64_t i = 0; i < ops; ++i) {
+    futs.push_back(tier.submit(nextRequest(rng, nullptr, keyRange, readPct)));
+  }
+  std::int64_t inserted = 0;
+  std::int64_t erased = 0;
+  for (auto& f : futs) {
+    const sftree::serve::Result r = f.get();
+    if (r.rejected) continue;
+    if (r.op == OpKind::kInsert && r.ok) ++inserted;
+    if (r.op == OpKind::kErase && r.ok) ++erased;
+  }
+  const std::uint64_t t1 = sftree::obs::nowNs();
+
+  AmortResult out;
+  out.stats = tier.stats();
+  tier.stop();
+  out.seconds = static_cast<double>(t1 - t0) / 1e9;
+  out.perSecond = static_cast<double>(ops) / out.seconds;
+  map->quiesce();
+  const std::int64_t finalSize =
+      static_cast<std::int64_t>(map->keysInOrder().size());
+  out.keysConserved = finalSize == initialSize + inserted - erased;
+  return out;
+}
+
+struct OpenLoopResult {
+  std::uint64_t offered = 0;  // submissions attempted (arrival count)
+  double achievedPerS = 0;
+  double p50Ns = 0;
+  double p99Ns = 0;
+  double p999Ns = 0;
+  std::uint64_t rejected = 0;
+  bool sloOk = false;
+  ServingTierStats stats;
+};
+
+// One open-loop cell: Poisson arrivals at `ratePerS` for `durationMs`,
+// callback completions, then drain and read the latency histograms.
+OpenLoopResult runOpenLoopCell(int shards, std::int64_t keyRange,
+                               std::int64_t initialSize, int readPct,
+                               const ZipfKeys* zipf, double ratePerS,
+                               int durationMs, double sloMs,
+                               std::uint64_t seed) {
+  auto map = makeMap(shards, keyRange, initialSize, seed);
+  ServingTier tier(*map);  // default config: adaptive batching on
+
+  Rng rng(seed * 104729 + 71);
+  std::atomic<std::uint64_t> done{0};
+  const auto cb = [&done](const sftree::serve::Result&) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  const double meanGapNs = 1e9 / ratePerS;
+  std::uint64_t submitted = 0;
+  const std::uint64_t t0 = sftree::obs::nowNs();
+  const std::uint64_t endNs =
+      t0 + static_cast<std::uint64_t>(durationMs) * 1'000'000ULL;
+  std::uint64_t nextNs = t0;
+  while (nextNs < endNs) {
+    // Exponential inter-arrival; open loop: when the submitter falls behind
+    // the schedule it submits immediately (arrivals queue, they never
+    // throttle to completions).
+    double u = rng.nextDouble();
+    if (u < 1e-12) u = 1e-12;
+    nextNs += static_cast<std::uint64_t>(-std::log(u) * meanGapNs);
+    while (sftree::obs::nowNs() < nextNs) {
+      // Busy-wait: arrival gaps are microseconds, far below sleep latency.
+    }
+    tier.submit(nextRequest(rng, zipf, keyRange, readPct), cb);
+    ++submitted;
+  }
+  // Drain: every accepted request completes; rejected ones completed their
+  // callback inline at submit.
+  while (done.load(std::memory_order_acquire) < submitted) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const std::uint64_t t1 = sftree::obs::nowNs();
+
+  OpenLoopResult out;
+  out.stats = tier.stats();
+  tier.stop();
+  out.offered = submitted;
+  out.achievedPerS = static_cast<double>(out.stats.completed) /
+                     (static_cast<double>(t1 - t0) / 1e9);
+  sftree::obs::LogHistogram lat = out.stats.latencyReadNs;
+  lat += out.stats.latencyUpdateNs;
+  out.p50Ns = lat.quantile(0.50);
+  out.p99Ns = lat.quantile(0.99);
+  out.p999Ns = lat.quantile(0.999);
+  out.rejected = out.stats.rejected;
+  const double offeredPerS =
+      static_cast<double>(submitted) /
+      (static_cast<double>(durationMs) / 1e3);
+  out.sloOk = out.p99Ns <= sloMs * 1e6 && out.rejected == 0 &&
+              out.achievedPerS >= 0.95 * offeredPerS;
+  return out;
+}
+
+double avgFill(const ServingTierStats& s) {
+  return s.batchTxs == 0 ? 0.0
+                         : static_cast<double>(s.batchedOps) /
+                               static_cast<double>(s.batchTxs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::int64_t ops = cli.integer("ops", 40000);
+  const int reps = static_cast<int>(cli.integer("reps", 3));
+  const int shards = static_cast<int>(cli.integer("shards", 1));
+  const std::int64_t keyRange = cli.integer("key-range", 1 << 12);
+  const std::int64_t initialSize = cli.integer("initial-size", 1 << 11);
+  const std::size_t batchSize =
+      static_cast<std::size_t>(cli.integer("batch", 32));
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      cli.integer("seed", 42));
+  const std::vector<int> rates = cli.intList("rates", {20000, 60000});
+  const int openLoopMs = static_cast<int>(cli.integer("openloop-ms", 150));
+  const double sloMs = cli.real("slo-ms", 5.0);
+  const double zipfS = cli.real("zipf-s", 0.99);
+  const bool skipOpenLoop = cli.flag("skip-openloop", false);
+
+  if (shards < 1) {
+    std::cerr << "--shards must be >= 1 (got " << shards << ")\n";
+    return 1;
+  }
+  if (ops < 1 || keyRange < 1 || batchSize < 1) {
+    std::cerr << "--ops, --key-range and --batch must be >= 1\n";
+    return 1;
+  }
+  for (const int r : rates) {
+    if (r < 1) {
+      std::cerr << "--rates values must be >= 1 (got " << r << ")\n";
+      return 1;
+    }
+  }
+
+  JsonReport json("serving_ycsb");
+  json.meta()
+      .set("ops", ops)
+      .set("reps", static_cast<std::int64_t>(reps))
+      .set("shards", static_cast<std::int64_t>(shards))
+      .set("key_range", keyRange)
+      .set("initial_size", initialSize)
+      .set("batch_size", static_cast<std::uint64_t>(batchSize))
+      .set("slo_ms", sloMs)
+      .set("zipf_s", zipfS)
+      .set("openloop_ms", static_cast<std::int64_t>(openLoopMs))
+      .set("hw_concurrency",
+           static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+
+  // ---- Phase 1: amortization proxy (YCSB-B mix, uniform keys) ----------
+  const int gateReadPct = 95;
+  double bestBatched = 0;
+  double bestPerOp = 0;
+  bool keysConservedAll = true;
+  Table amortTable({"arm", "rep", "ops", "seconds", "per_s", "batch_txs",
+                    "per_op_txs", "avg_fill", "keys_ok"});
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool batched : {true, false}) {
+      const std::size_t arm = batched ? batchSize : 1;
+      const AmortResult r =
+          runAmortArm(arm, ops, shards, keyRange, initialSize, gateReadPct,
+                      seed + static_cast<std::uint64_t>(rep));
+      keysConservedAll = keysConservedAll && r.keysConserved;
+      if (batched) {
+        bestBatched = std::max(bestBatched, r.perSecond);
+      } else {
+        bestPerOp = std::max(bestPerOp, r.perSecond);
+      }
+      const char* name = batched ? "batched" : "per_op";
+      amortTable.addRow({name, Table::num(rep),
+                         Table::num(static_cast<std::uint64_t>(ops)),
+                         Table::num(r.seconds, 3), Table::num(r.perSecond, 0),
+                         Table::num(r.stats.batchTxs),
+                         Table::num(r.stats.perOpTxs),
+                         Table::num(avgFill(r.stats), 1),
+                         r.keysConserved ? "yes" : "NO"});
+      json.addRecord()
+          .set("kind", "amortization")
+          .set("arm", name)
+          .set("rep", static_cast<std::int64_t>(rep))
+          .set("mix", "ycsb_b")
+          .set("ops", ops)
+          .set("seconds", r.seconds)
+          .set("per_s", r.perSecond)
+          .set("batch_txs", r.stats.batchTxs)
+          .set("batched_ops", r.stats.batchedOps)
+          .set("per_op_txs", r.stats.perOpTxs)
+          .set("avg_batch_fill", avgFill(r.stats))
+          .set("keys_conserved", r.keysConserved);
+    }
+  }
+  const double ratio = bestPerOp > 0 ? bestBatched / bestPerOp : 0.0;
+  json.meta()
+      .set("batched_per_s", bestBatched)
+      .set("per_op_per_s", bestPerOp)
+      .set("batched_ratio", ratio)
+      .set("keys_conserved", keysConservedAll);
+
+  std::cout << "== amortization (ycsb_b, uniform, equal offered load) ==\n";
+  amortTable.print();
+  std::cout << "batched/per_op ratio: " << Table::num(ratio, 2) << "\n\n";
+
+  // ---- Phase 2: open-loop Poisson sweep --------------------------------
+  if (!skipOpenLoop) {
+    Table olTable({"mix", "dist", "offered_per_s", "achieved_per_s", "p50_us",
+                   "p99_us", "p999_us", "max_q", "rej", "slo"});
+    const ZipfKeys zipf(keyRange, zipfS);
+    for (const Mix& mix : kMixes) {
+      for (const bool zipfDist : {false, true}) {
+        const char* dist = zipfDist ? "zipf" : "uniform";
+        double maxSustained = 0;
+        for (const int rate : rates) {
+          const OpenLoopResult r = runOpenLoopCell(
+              shards, keyRange, initialSize, mix.readPct,
+              zipfDist ? &zipf : nullptr, static_cast<double>(rate),
+              openLoopMs, sloMs, seed);
+          if (r.sloOk) {
+            maxSustained = std::max(maxSustained, static_cast<double>(rate));
+          }
+          olTable.addRow(
+              {mix.name, dist, Table::num(rate), Table::num(r.achievedPerS, 0),
+               Table::num(r.p50Ns / 1e3, 1), Table::num(r.p99Ns / 1e3, 1),
+               Table::num(r.p999Ns / 1e3, 1), Table::num(r.stats.maxQueueDepth),
+               Table::num(r.rejected), r.sloOk ? "ok" : "MISS"});
+          json.addRecord()
+              .set("kind", "openloop")
+              .set("mix", mix.name)
+              .set("dist", dist)
+              .set("offered_per_s", static_cast<std::int64_t>(rate))
+              .set("achieved_per_s", r.achievedPerS)
+              .set("duration_ms", static_cast<std::int64_t>(openLoopMs))
+              .set("submitted", r.offered)
+              .set("completed", r.stats.completed)
+              .set("rejected", r.rejected)
+              .set("p50_ns", r.p50Ns)
+              .set("p99_ns", r.p99Ns)
+              .set("p999_ns", r.p999Ns)
+              .set("max_queue_depth", r.stats.maxQueueDepth)
+              .set("batch_txs", r.stats.batchTxs)
+              .set("per_op_txs", r.stats.perOpTxs)
+              .set("avg_batch_fill", avgFill(r.stats))
+              .set("batch_shrinks", r.stats.batchShrinks)
+              .set("slo_ok", r.sloOk);
+        }
+        json.addRecord()
+            .set("kind", "slo")
+            .set("mix", mix.name)
+            .set("dist", dist)
+            .set("slo_ms", sloMs)
+            .set("max_sustained_per_s", maxSustained);
+      }
+    }
+    std::cout << "== open-loop Poisson sweep (p99 SLO " << sloMs << " ms) ==\n";
+    olTable.print();
+  }
+
+  return json.writeFile(cli.jsonPath()) ? 0 : 1;
+}

@@ -41,6 +41,20 @@ build. Dispatch is on the top-level "bench" tag:
     relaxes the noise-exposed bounds (depth 1.3x / tput 1.15x / parity
     0.85 / overhead 6%) for reports generated on shared runners; the
     committed baseline is always held to the strict bounds.
+  * serving_ycsb — field-presence checks plus the serving-tier acceptance
+    gates (BENCH_serving.json): at equal offered load on the read-mostly
+    (YCSB-B-like) mix, transaction coalescing must complete >= 1.3x the
+    rate of one-transaction-per-request (per-arm best over interleaved
+    reps, recomputed from the records; the arms differ only in batch size
+    so the ratio is a deterministic proxy for per-transaction overhead and
+    gates on any core count — the reshard precedent); the batched arm must
+    actually have coalesced (batch transactions committed, mean fill >= 2
+    at a configured batch >= 16); every amortization rep must conserve
+    keys; and the open-loop sweep must cover every mix x distribution cell
+    with p50/p99/p999 latency fields and one max-sustained-rate-under-SLO
+    record each. --fresh relaxes the amortization ratio to 1.15x for
+    reports generated on noisy shared runners; the committed baseline is
+    always held to 1.3x.
   * maintpath — field-presence checks, the targeted-vs-sweep acceptance
     gates (targeted maintenance must do >= 1.5x less maintenance work per
     committed update than full sweeps, with final height within 1.5x), and,
@@ -312,6 +326,110 @@ def check_splay(top, fresh) -> None:
           f"{meta['det_splay_steps']} splay steps")
 
 
+SERVING_AMORT_KEYS = [
+    "kind", "arm", "rep", "mix", "ops", "seconds", "per_s", "batch_txs",
+    "batched_ops", "per_op_txs", "avg_batch_fill", "keys_conserved",
+]
+
+SERVING_OPENLOOP_KEYS = [
+    "kind", "mix", "dist", "offered_per_s", "achieved_per_s", "duration_ms",
+    "submitted", "completed", "rejected", "p50_ns", "p99_ns", "p999_ns",
+    "max_queue_depth", "batch_txs", "per_op_txs", "avg_batch_fill",
+    "batch_shrinks", "slo_ok",
+]
+
+SERVING_SLO_KEYS = ["kind", "mix", "dist", "slo_ms", "max_sustained_per_s"]
+
+SERVING_META_KEYS = [
+    "ops", "reps", "shards", "key_range", "initial_size", "batch_size",
+    "slo_ms", "zipf_s", "openloop_ms", "hw_concurrency", "batched_per_s",
+    "per_op_per_s", "batched_ratio", "keys_conserved",
+]
+
+SERVING_MIXES = ("ycsb_a", "ycsb_b", "ycsb_c")
+SERVING_DISTS = ("uniform", "zipf")
+
+
+def check_serving(top, fresh) -> None:
+    check_repo_report(top, "serving_ycsb", ["kind"])
+    require(top["meta"], SERVING_META_KEYS, "serving_ycsb.meta")
+    meta = top["meta"]
+
+    by_kind = {}
+    for i, rec in enumerate(top["results"]):
+        keys = {"amortization": SERVING_AMORT_KEYS,
+                "openloop": SERVING_OPENLOOP_KEYS,
+                "slo": SERVING_SLO_KEYS}.get(rec["kind"])
+        if keys is None:
+            fail(f"serving_ycsb.results[{i}] has unknown kind "
+                 f"'{rec['kind']}'")
+        require(rec, keys, f"serving_ycsb.results[{i}] ({rec['kind']})")
+        by_kind.setdefault(rec["kind"], []).append(rec)
+
+    # --- Amortization gate (deterministic proxy: equal offered load, the
+    # arms differ only in batch size, so the ratio isolates per-transaction
+    # overhead and gates on any core count). Per-arm best over interleaved
+    # reps, recomputed from the records rather than trusted from meta.
+    amort = by_kind.get("amortization", [])
+    by_arm = {}
+    for rec in amort:
+        if not rec["keys_conserved"]:
+            fail(f"serving_ycsb amortization {rec['arm']} rep {rec['rep']} "
+                 "did not conserve keys (initial + inserts - erases != "
+                 "final size)")
+        by_arm.setdefault(rec["arm"], []).append(rec)
+    for arm in ("batched", "per_op"):
+        if not by_arm.get(arm):
+            fail(f"serving_ycsb has no amortization '{arm}' records")
+    best_batched = max(r["per_s"] for r in by_arm["batched"])
+    best_per_op = max(r["per_s"] for r in by_arm["per_op"])
+    if best_per_op <= 0:
+        fail("serving_ycsb per_op best rate is zero")
+    ratio = best_batched / best_per_op
+
+    if meta["batch_size"] < 16:
+        fail(f"serving_ycsb batch_size {meta['batch_size']} < 16 — the "
+             "amortization gate requires a batch of at least 16")
+    best_fill = max(r["avg_batch_fill"] for r in by_arm["batched"])
+    if not any(r["batch_txs"] > 0 for r in by_arm["batched"]):
+        fail("serving_ycsb batched arm committed zero batch transactions "
+             "— coalescing never engaged")
+    if best_fill < 2.0:
+        fail(f"serving_ycsb batched arm mean batch fill {best_fill:.1f} "
+             "< 2 — requests were not actually coalesced")
+
+    kind = "fresh" if fresh else "committed"
+    ratio_bound = 1.15 if fresh else 1.3
+    if ratio < ratio_bound:
+        fail(f"transaction coalescing completes only {ratio:.2f}x the "
+             f"per-op rate at equal offered load (bound {ratio_bound:.2f} "
+             f"for a {kind} report)")
+
+    # --- Open-loop coverage: every mix x distribution cell measured, with
+    # sane latency fields, and one SLO-frontier record each.
+    ol_cells = {(r["mix"], r["dist"]) for r in by_kind.get("openloop", [])}
+    slo_cells = {(r["mix"], r["dist"]) for r in by_kind.get("slo", [])}
+    for mix in SERVING_MIXES:
+        for dist in SERVING_DISTS:
+            if (mix, dist) not in ol_cells:
+                fail(f"serving_ycsb open-loop sweep is missing the "
+                     f"({mix}, {dist}) cell")
+            if (mix, dist) not in slo_cells:
+                fail(f"serving_ycsb has no SLO record for ({mix}, {dist})")
+    for rec in by_kind.get("openloop", []):
+        if rec["completed"] > 0 and not (
+                0 < rec["p50_ns"] <= rec["p99_ns"] <= rec["p999_ns"]):
+            fail(f"serving_ycsb openloop ({rec['mix']}, {rec['dist']}, "
+                 f"{rec['offered_per_s']}/s) latency quantiles are not "
+                 "monotone positive")
+
+    print(f"check_bench_schema: serving gates OK ({kind}) — amortization "
+          f"{ratio:.2f}x (batched {best_batched:.0f}/s vs per-op "
+          f"{best_per_op:.0f}/s, best fill {best_fill:.1f}), "
+          f"{len(by_kind.get('openloop', []))} open-loop cells, keys "
+          "conserved")
+
+
 MAINT_RECORD_KEYS = [
     "mode", "rep", "ops_per_us", "final_height", "committed_updates",
     "maint_nodes_visited", "visits_per_update", "maint_passes",
@@ -413,6 +531,8 @@ def main() -> None:
         check_obs_overhead(top, args.fresh)
     elif top["bench"] == "splay_skew":
         check_splay(top, args.fresh)
+    elif top["bench"] == "serving_ycsb":
+        check_serving(top, args.fresh)
     else:
         fail(f"unknown top-level bench tag '{top['bench']}'")
 

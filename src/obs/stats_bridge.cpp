@@ -68,6 +68,8 @@ void emitMaintenanceStats(MetricSink& out, const std::string& prefix,
   out.counter(join(prefix, "nodes_freed"), s.nodesFreed);
   out.counter(join(prefix, "nodes_retired"), s.nodesRetired);
   out.counter(join(prefix, "nodes_visited"), s.nodesVisited);
+  out.counter(join(prefix, "shared_prefix_skips"), s.sharedPrefixSkips);
+  out.counter(join(prefix, "sweeps_deferred"), s.sweepsDeferred);
   out.counter(join(prefix, "access_entries_drained"), s.accessEntriesDrained);
   out.counter(join(prefix, "access_ticks_consumed"), s.accessTicksConsumed);
   out.counter(join(prefix, "splay_steps"), s.splaySteps);

@@ -51,9 +51,22 @@ bool ReshardController::sampleAndAct() {
   const auto samples = map_.loadSamples();
   const int n = static_cast<int>(samples.size());
 
+  // Heat-weighted splitting inputs: per-slot traffic and the slot->shard
+  // assignment, both fetched before mu_ (leaf-lock discipline; the
+  // snapshots are racy against each other like every gauge here).
+  std::vector<std::uint64_t> slotTicks;
+  std::vector<int> slotOwnersNow;
+  if (cfg_.heatWeight > 0) {
+    slotTicks = map_.slotOpTicks();
+    slotOwnersNow = map_.slotOwners();
+  }
+
   // Interval load per shard: update-tick delta since the previous sample
-  // (traffic) plus the weighted violation-queue backlog. New shards (no
-  // previous reading) contribute their backlog only for one interval.
+  // (traffic) plus the weighted violation-queue backlog, plus (heatWeight)
+  // the decayed traffic of the shard's hottest routing slot — the skew
+  // signal: concentrated traffic out-scores the same volume spread evenly.
+  // New shards (no previous reading) contribute their backlog only for one
+  // interval.
   std::vector<Score> scores;
   scores.reserve(samples.size());
   double total = 0;
@@ -61,6 +74,28 @@ bool ReshardController::sampleAndAct() {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.samples;
     if (n == 0) return false;
+    std::vector<double> hotHeatByShard(static_cast<std::size_t>(n), 0.0);
+    if (cfg_.heatWeight > 0) {
+      if (slotHeat_.size() != slotTicks.size()) {
+        slotHeat_.assign(slotTicks.size(), 0.0);
+        prevSlotTicks_.assign(slotTicks.size(), 0);
+        prevSlotTicks_ = slotTicks;  // first sample: zero deltas
+      }
+      for (std::size_t s = 0; s < slotTicks.size(); ++s) {
+        const std::uint64_t delta = slotTicks[s] >= prevSlotTicks_[s]
+                                        ? slotTicks[s] - prevSlotTicks_[s]
+                                        : 0;
+        slotHeat_[s] =
+            cfg_.heatDecay * slotHeat_[s] + static_cast<double>(delta);
+        const int owner =
+            s < slotOwnersNow.size() ? slotOwnersNow[s] : -1;
+        if (owner >= 0 && owner < n) {
+          hotHeatByShard[static_cast<std::size_t>(owner)] = std::max(
+              hotHeatByShard[static_cast<std::size_t>(owner)], slotHeat_[s]);
+        }
+      }
+      prevSlotTicks_ = slotTicks;
+    }
     std::map<const void*, std::uint64_t> ticksNow;
     for (const ShardLoadSample& s : samples) {
       ticksNow[s.id] = s.updateTicks;
@@ -69,10 +104,15 @@ bool ReshardController::sampleAndAct() {
           it == prevTicks_.end()
               ? 0
               : (s.updateTicks >= it->second ? s.updateTicks - it->second : 0);
+      const double hotHeat =
+          s.index >= 0 && s.index < n
+              ? hotHeatByShard[static_cast<std::size_t>(s.index)]
+              : 0.0;
       const double load =
           static_cast<double>(delta) +
-          static_cast<double>(cfg_.queueDepthWeight * s.queueDepth);
-      scores.push_back(Score{s.index, load, delta, s.queueDepth});
+          static_cast<double>(cfg_.queueDepthWeight * s.queueDepth) +
+          cfg_.heatWeight * hotHeat;
+      scores.push_back(Score{s.index, load, delta, s.queueDepth, hotHeat});
       total += load;
     }
     prevTicks_ = std::move(ticksNow);
@@ -106,6 +146,7 @@ bool ReshardController::sampleAndAct() {
     d.threshold = cfg_.splitFactor * fairShare;
     d.tickDelta = scores.front().tickDelta;
     d.queueDepth = scores.front().queueDepth;
+    d.hotSlotHeat = scores.front().hotHeat;
     const int born = map_.splitShard(scores.front().index);
     d.other = born;
     d.acted = born >= 0;
@@ -154,6 +195,7 @@ bool ReshardController::sampleAndAct() {
   d.threshold = cfg_.splitFactor * fairShare;
   d.tickDelta = scores.front().tickDelta;
   d.queueDepth = scores.front().queueDepth;
+  d.hotSlotHeat = scores.front().hotHeat;
   recordDecision(d);
   return false;
 }
@@ -206,6 +248,7 @@ obs::MetricsRegistry::Registration ReshardController::registerMetrics(
       out.gauge("last_decision.threshold", last.threshold);
       out.gauge("last_decision.queue_depth",
                 static_cast<double>(last.queueDepth));
+      out.gauge("last_decision.hot_slot_heat", last.hotSlotHeat);
     }
   });
 }

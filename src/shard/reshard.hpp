@@ -52,6 +52,16 @@ struct ReshardControllerConfig {
   // (backlog signals maintenance falling behind, which is worth reacting
   // to faster than raw traffic).
   std::uint64_t queueDepthWeight = 4;
+  // Heat-weighted splitting: fold the shard's hottest routing slot's
+  // decayed traffic into its load score, scaled by this factor. A shard
+  // whose traffic concentrates on one slot (skew — the population the
+  // splay heuristic serves) then out-scores a shard carrying the same
+  // traffic spread evenly, and splits first. The decayed accumulator makes
+  // *persistent* skew count more than one bursty interval: with decay d, a
+  // slot sustaining delta t per interval converges to t / (1 - d). 0
+  // disables the term (the pre-heat policy).
+  double heatWeight = 1.0;
+  double heatDecay = 0.5;
   // Background sampling period (start()/stop()).
   std::chrono::milliseconds samplePeriod{100};
 };
@@ -83,6 +93,8 @@ struct ReshardDecision {
   double threshold = 0.0; // the factor * fairShare the load was compared to
   std::uint64_t tickDelta = 0;   // deciding shard's update-tick delta
   std::uint64_t queueDepth = 0;  // deciding shard's backlog at sample time
+  double hotSlotHeat = 0.0;      // deciding shard's hottest-slot decayed
+                                 // heat (the heatWeight * this term of load)
 };
 
 class ReshardController {
@@ -124,6 +136,7 @@ class ReshardController {
     double load;
     std::uint64_t tickDelta;
     std::uint64_t queueDepth;
+    double hotHeat;
   };
 
   // Mirrors the decision into the event trace (TraceKind::kReshardDecision)
@@ -140,6 +153,11 @@ class ReshardController {
   // Update-tick reading at the previous sample, keyed by stable shard
   // identity (tree address; indexes shift under splits/merges).
   std::map<const void*, std::uint64_t> prevTicks_;
+  // Per-routing-slot heat state (the heatWeight term): previous slot-tick
+  // reading and the decayed accumulator. Slot indexes are stable for the
+  // map's lifetime, unlike shard indexes. Empty until the first sample.
+  std::vector<std::uint64_t> prevSlotTicks_;
+  std::vector<double> slotHeat_;
   ReshardControllerStats stats_;
   std::deque<ReshardDecision> decisions_;  // bounded: kDecisionLogCapacity
 

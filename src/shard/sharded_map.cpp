@@ -196,6 +196,14 @@ std::vector<int> ShardedMap::slotOwners() const {
   return out;
 }
 
+std::vector<std::uint64_t> ShardedMap::slotOpTicks() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(cfg_.routingSlots));
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s] = slotTicks_[s].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 std::vector<ShardLoadSample> ShardedMap::loadSamples() const {
   std::lock_guard<std::mutex> lk(topoMu_);
   std::vector<ShardLoadSample> out;
@@ -874,6 +882,8 @@ ShardedMapStats ShardedMap::aggregatedStats() const {
     out.maintenance.nodesFreed += m.nodesFreed;
     out.maintenance.nodesRetired += m.nodesRetired;
     out.maintenance.nodesVisited += m.nodesVisited;
+    out.maintenance.sharedPrefixSkips += m.sharedPrefixSkips;
+    out.maintenance.sweepsDeferred += m.sweepsDeferred;
     out.maintenance.accessEntriesDrained += m.accessEntriesDrained;
     out.maintenance.accessTicksConsumed += m.accessTicksConsumed;
     out.maintenance.splaySteps += m.splaySteps;

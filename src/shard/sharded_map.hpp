@@ -231,6 +231,10 @@ class ShardedMap final : public trees::ITransactionalMap {
   // Current slot -> shard-index assignment (racy snapshot; slots mid-
   // migration report their new owner).
   std::vector<int> slotOwners() const;
+  // Racy per-slot traffic snapshot (ShardedMapStats::slotOpTicks) without
+  // the full aggregatedStats walk — the re-sharding heat policy samples it
+  // every period, so it must stay a plain counter sweep.
+  std::vector<std::uint64_t> slotOpTicks() const;
   // Racy per-shard load snapshot for the re-sharding policy.
   std::vector<ShardLoadSample> loadSamples() const;
 

@@ -718,21 +718,31 @@ void SFTree::maintenanceLoop() {
 
 bool SFTree::runMaintenancePass(const std::atomic<bool>* cancel) {
   bool fullSweep = !cfg_.targetedMaintenance;
+  bool sweepDeferrable = false;
   if (!fullSweep) {
     // Periodic fallback sweep: the safety net for anything the queue could
     // not carry — drain/update races absorbed by the dedup handshake,
     // deleted two-child nodes that only became removable after their
-    // subtree emptied, dropped captures on overflow.
+    // subtree emptied, dropped captures on overflow. The *periodic* sweep
+    // is deferrable: a drain that carried only kAccess splay traffic left
+    // no structural debt for the sweep to find (maintainOnce decides). An
+    // overflow sweep is not — dropped captures are exactly the missed work
+    // only a sweep recovers.
     ++passesSinceSweep_;
     if (cfg_.fullSweepPeriod > 0 && passesSinceSweep_ >= cfg_.fullSweepPeriod) {
       fullSweep = true;
+      sweepDeferrable = true;
     }
-    if (violations_.consumeOverflow()) fullSweep = true;
+    if (violations_.consumeOverflow()) {
+      fullSweep = true;
+      sweepDeferrable = false;
+    }
   }
-  return maintainOnce(cancel, fullSweep);
+  return maintainOnce(cancel, fullSweep, sweepDeferrable);
 }
 
-bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
+bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep,
+                          bool sweepDeferrable) {
   const std::uint64_t passStart = obs::tick();
   if (splayEnabled_) {
     // One decay-epoch refresh and one fresh rotation budget per pass: every
@@ -745,8 +755,21 @@ bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
   }
   limbo_.openEpoch(registry_);
   bool didWork = false;
+  bool sawStructural = false;
+  bool sweepDeferred = false;
   if (cfg_.targetedMaintenance) {
-    if (drainViolations(cancel)) didWork = true;
+    if (drainViolations(cancel, sawStructural)) didWork = true;
+  }
+  if (fullSweep && sweepDeferrable && !sawStructural &&
+      cfg_.fullSweepPeriod > 0 &&
+      passesSinceSweep_ < 4 * cfg_.fullSweepPeriod) {
+    // Splay-aware backoff: this period's drain was pure kAccess traffic
+    // (or empty) — structurally clean, nothing for the safety net to
+    // recover — so skip the O(n) DFS. passesSinceSweep_ keeps climbing, so
+    // the period re-fires next pass and the 4x cap bounds how long a
+    // dropped-entry race can hide (quiesceNow still always sweeps).
+    fullSweep = false;
+    sweepDeferred = true;
   }
   if (fullSweep) {
     SFNode* top = root_->left.loadAcquire();
@@ -770,10 +793,13 @@ bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
       splayBudgetHit_ = false;
     }
     maintStats_.nodesFreed = limbo_.freedTotal();
+    if (sweepDeferred) ++maintStats_.sweepsDeferred;
     // passVisited_ is worker-private; fold it into the guarded stats once
     // per pass so visits cost no synchronization per node.
     maintStats_.nodesVisited += passVisited_;
     passVisited_ = 0;
+    maintStats_.sharedPrefixSkips += passPrefixSkips_;
+    passPrefixSkips_ = 0;
   }
   return didWork;
 }
@@ -785,32 +811,105 @@ bool SFTree::maintainOnce(const std::atomic<bool>* cancel, bool fullSweep) {
 // tree (the runMaintenancePass contract): concurrent abstract operations
 // only link fresh leaves (published with release stores) and flip flags.
 // --------------------------------------------------------------------------
-bool SFTree::drainViolations(const std::atomic<bool>* cancel) {
+bool SFTree::drainViolations(const std::atomic<bool>* cancel,
+                             bool& sawStructural) {
   bool didWork = false;
+  // Collect, then sort by key, then repair: key-sorted neighbors share the
+  // longest possible root-path prefixes, so each repair can resume the
+  // previous entry's recorded walk instead of re-descending from the root
+  // (sharedPrefixSkips counts the avoided steps). The dedup claims were
+  // already released by the drain, so a concurrent update to a collected
+  // key re-enqueues normally and is simply repaired again next pass.
+  drainBuf_.clear();
   violations_.drain([&](Key k, ViolationKind kind, std::uint32_t weight) {
-    processViolation(k, kind, weight, didWork);
+    drainBuf_.push_back(DrainEntry{k, weight, kind});
     return cancel == nullptr || !cancel->load(std::memory_order_relaxed);
   });
+  std::sort(drainBuf_.begin(), drainBuf_.end(),
+            [](const DrainEntry& a, const DrainEntry& b) {
+              return a.key < b.key;
+            });
+  bool reusePath = false;
+  for (std::size_t i = 0; i < drainBuf_.size(); ++i) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      // Cancelled mid-batch: hand the unprocessed tail back to the queue so
+      // the next pass (or quiesceNow) repairs it. An access entry's
+      // absorbed-tick weight is dropped by the round-trip — heat is a lossy
+      // estimate by contract.
+      for (std::size_t j = i; j < drainBuf_.size(); ++j) {
+        violations_.publish(drainBuf_[j].key, drainBuf_[j].kind);
+      }
+      break;
+    }
+    const DrainEntry& e = drainBuf_[i];
+    if (e.kind != ViolationKind::kAccess) sawStructural = true;
+    bool entryWork = false;
+    processViolation(e.key, e.kind, e.weight, entryWork, reusePath);
+    didWork |= entryWork;
+    // A repair that did structural work (rotations, removals, promotions)
+    // may have retired nodes recorded in pathBuf_; only then is the
+    // recorded path unusable for the next entry.
+    reusePath = !entryWork;
+  }
   return didWork;
 }
 
 void SFTree::processViolation(Key k, ViolationKind kind, std::uint32_t ticks,
-                              bool& didWork) {
+                              bool& didWork, bool reusePath) {
   // Root-path walk to k's position, recording the path. The walk can only
   // meet reachable (never removed) nodes; nodes this pass itself retires
   // stay readable until a later pass's collection epoch.
-  pathBuf_.clear();
   SFNode* parent = root_;
   SFNode* node = root_->left.loadAcquire();
   bool leftChild = true;
-  int steps = 0;
-  while (node != nullptr && node->key != k) {
-    ++passVisited_;
-    pathBuf_.push_back(PathStep{parent, node, leftChild});
-    parent = node;
-    leftChild = k < node->key;
-    node = leftChild ? node->left.loadAcquire() : node->right.loadAcquire();
-    if (++steps > kMaintenanceDepthLimit) return;  // defensive
+  bool foundViaPrefix = false;
+  if (reusePath && !pathBuf_.empty() && pathBuf_.front().node == node) {
+    // Follow the previous entry's recorded path while it matches k's search
+    // path. Safe: the previous repair did no structural work (drain
+    // contract), and concurrent mutators only link fresh leaves below null
+    // children, so every recorded interior node is still reachable at the
+    // recorded position.
+    std::size_t keep = 0;
+    for (;;) {
+      SFNode* n = pathBuf_[keep].node;
+      if (n->key == k) {
+        // k's node is itself on the recorded path: the prefix above it is
+        // the whole ancestor chain.
+        parent = pathBuf_[keep].parent;
+        node = n;
+        leftChild = pathBuf_[keep].leftChild;
+        pathBuf_.resize(keep);
+        passPrefixSkips_ += keep;
+        foundViaPrefix = true;
+        break;
+      }
+      const bool dir = k < n->key;
+      if (keep + 1 < pathBuf_.size() && pathBuf_[keep + 1].leftChild == dir) {
+        ++keep;
+        continue;
+      }
+      // Diverged (or the recorded path ended): resume the live walk from
+      // n's dir child with the shared prefix kept as recorded ancestors.
+      parent = n;
+      leftChild = dir;
+      node = dir ? n->left.loadAcquire() : n->right.loadAcquire();
+      pathBuf_.resize(keep + 1);
+      passPrefixSkips_ += keep + 1;
+      break;
+    }
+  } else {
+    pathBuf_.clear();
+  }
+  if (!foundViaPrefix) {
+    int steps = static_cast<int>(pathBuf_.size());
+    while (node != nullptr && node->key != k) {
+      ++passVisited_;
+      pathBuf_.push_back(PathStep{parent, node, leftChild});
+      parent = node;
+      leftChild = k < node->key;
+      node = leftChild ? node->left.loadAcquire() : node->right.loadAcquire();
+      if (++steps > kMaintenanceDepthLimit) return;  // defensive
+    }
   }
 
   if (kind == ViolationKind::kAccess) {

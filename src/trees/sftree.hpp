@@ -213,6 +213,14 @@ struct MaintenanceStats {
   // the "maintenance work" numerator — divide by committed updates to get
   // the cost the targeted mode is built to shrink.
   std::uint64_t nodesVisited = 0;
+  // Root-path steps a targeted drain avoided re-walking because consecutive
+  // (key-sorted) entries shared a recorded prefix — visits that would have
+  // counted into nodesVisited otherwise.
+  std::uint64_t sharedPrefixSkips = 0;
+  // Periodic fallback sweeps deferred because the drain carried no
+  // structural violations (pure kAccess splay traffic); capped at 4x
+  // fullSweepPeriod, after which the sweep runs regardless.
+  std::uint64_t sweepsDeferred = 0;
   // --- splay heuristic (docs/splaying.md; all zero when SplayPolicy::Off) --
   std::uint64_t accessEntriesDrained = 0;  // kAccess queue entries consumed
   std::uint64_t accessTicksConsumed = 0;   // total sampled-tick weight folded
@@ -415,24 +423,37 @@ class SFTree {
   // --- maintenance ----------------------------------------------------------
   void maintenanceLoop();
   // One maintenance pass body: optional targeted drain plus (when
-  // `fullSweep`) a depth-first sweep, bracketed by one GC epoch.
-  bool maintainOnce(const std::atomic<bool>* cancel, bool fullSweep);
+  // `fullSweep`) a depth-first sweep, bracketed by one GC epoch. A
+  // `sweepDeferrable` sweep (the periodic fallback) is skipped when the
+  // drain carried only kAccess entries — splay traffic is not the kind of
+  // missed work the safety-net sweep exists to recover — until the deferral
+  // cap (4x fullSweepPeriod) forces it.
+  bool maintainOnce(const std::atomic<bool>* cancel, bool fullSweep,
+                    bool sweepDeferrable = false);
   // Depth-first sweep: propagates heights, triggers rotations/removals.
   void maintainSubtree(SFNode* parent, SFNode* node, bool leftChild,
                        bool& didWork, int depth,
                        const std::atomic<bool>* cancel);
-  // Targeted path: drains the violation queue; each entry triggers a
-  // root-path walk + local repair. Returns true when structural work
-  // happened.
-  bool drainViolations(const std::atomic<bool>* cancel);
+  // Targeted path: drains the violation queue into drainBuf_, sorts the
+  // entries by key (consecutive entries then share maximal root-path
+  // prefixes, which processViolation reuses), and repairs each. Returns
+  // true when structural work happened; sets `sawStructural` when any
+  // drained entry was a structural kind (kInsert/kErase), the signal the
+  // sweep-deferral backoff keys on.
+  bool drainViolations(const std::atomic<bool>* cancel, bool& sawStructural);
   // Repairs one drained queue entry. The kind selects the repair: kInsert
   // rebalances the root-path (no removal probes — any removable node has
   // its own kErase entry), kErase probes the physical removal and skips the
   // bottom-up rebalance when nothing was unlinked (heights unchanged),
   // kAccess folds `ticks` into the node's heat and may splay it toward the
-  // root (docs/splaying.md).
+  // root (docs/splaying.md). With `reusePath`, the walk first follows the
+  // path recorded in pathBuf_ by the previous entry as far as it matches
+  // k's search path (valid only when that entry did no structural work —
+  // concurrent mutators only link fresh leaves, so recorded interior nodes
+  // stay on their root-paths; only this worker's own rotations/removals
+  // invalidate them).
   void processViolation(Key k, ViolationKind kind, std::uint32_t ticks,
-                        bool& didWork);
+                        bool& didWork, bool reusePath);
   // If the node hanging off (parent, leftChild) is a removable logically
   // deleted node, unlink it and load its replacement into `node`. Returns
   // true on a successful removal.
@@ -517,6 +538,16 @@ class SFTree {
     bool leftChild;
   };
   std::vector<PathStep> pathBuf_;
+  // Drain batch scratch (consumer-only): entries collected per pass, sorted
+  // by key for the shared-prefix walk reuse. passPrefixSkips_ accumulates
+  // the avoided steps and folds into maintStats_ like passVisited_.
+  struct DrainEntry {
+    Key key;
+    std::uint32_t weight;
+    ViolationKind kind;
+  };
+  std::vector<DrainEntry> drainBuf_;
+  std::uint64_t passPrefixSkips_ = 0;
 
   std::atomic<std::int64_t> sizeEstimate_{0};
   std::atomic<std::uint64_t> updateTicks_{0};

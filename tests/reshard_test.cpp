@@ -379,6 +379,75 @@ TEST(ReshardTest, ControllerSplitsHotShardAndMergesCold) {
   EXPECT_GE(ctl.stats().merges, 1u);
 }
 
+// Heat-weighted split policy: two shards carry the SAME traffic volume,
+// but one concentrates it on a single key (one routing slot — the skew the
+// splay heuristic serves) while the other spreads it evenly. The raw tick
+// deltas tie, so the pre-heat policy (heatWeight = 0) must refuse to split;
+// the hottest-slot heat term breaks the tie toward the skew-hot shard.
+TEST(ReshardTest, HeatWeightedSplitPrefersSkewHotShard) {
+  shard::MaintenanceScheduler scheduler;
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 2;
+  cfg.routingSlots = 32;
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  const Key hotKey = keysForShard(map, 0, 1).front();
+  const auto spreadKeys = keysForShard(map, 1, 64);
+  auto hammer = [&] {
+    for (int i = 0; i < 3'000; ++i) {
+      map.insert(hotKey, 1);
+      map.erase(hotKey);
+    }
+    const int reps = 3'000 / static_cast<int>(spreadKeys.size());
+    for (int i = 0; i < reps; ++i) {
+      for (const Key k : spreadKeys) {
+        map.insert(k, 1);
+        map.erase(k);
+      }
+    }
+  };
+
+  shard::ReshardControllerConfig rcfg;
+  rcfg.minShards = 2;
+  rcfg.maxShards = 3;
+  rcfg.splitFactor = 1.2;
+  rcfg.mergeFactor = 0.0;  // merges off: this test is about the split score
+  rcfg.minOpsPerSample = 1024;
+
+  {
+    rcfg.heatWeight = 0.0;
+    shard::ReshardController ctl(map, rcfg);
+    ctl.sampleAndAct();  // baseline reading
+    hammer();
+    EXPECT_FALSE(ctl.sampleAndAct())
+        << "equal volume without the heat term must not cross splitFactor";
+    EXPECT_EQ(ctl.stats().splits, 0u);
+  }
+
+  // Drain the violation backlog the first round left queued, so the second
+  // controller's baseline sample sees an idle interval (queue-depth weight
+  // alone must not trip the split).
+  map.quiesce();
+
+  {
+    rcfg.heatWeight = 1.0;
+    shard::ReshardController ctl(map, rcfg);
+    ctl.sampleAndAct();  // baseline reading
+    hammer();
+    EXPECT_TRUE(ctl.sampleAndAct());
+    EXPECT_EQ(ctl.stats().splits, 1u);
+    const auto log = ctl.decisionLog();
+    ASSERT_FALSE(log.empty());
+    const auto& d = log.back();
+    EXPECT_EQ(d.action, shard::ReshardDecision::Action::kSplit);
+    EXPECT_EQ(d.shard, 0) << "the skew-hot shard must win the split";
+    EXPECT_TRUE(d.acted);
+    EXPECT_GT(d.hotSlotHeat, 0.0);
+  }
+  EXPECT_EQ(map.shardCount(), 3);
+}
+
 // Load-aware slot selection: splitShard ranks the victim's slots by their
 // slotOpTicks gauges and peels the hottest ones onto the fresh shard, so a
 // single scorching slot must land on the new tree — not stay behind by the
