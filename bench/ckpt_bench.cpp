@@ -1,0 +1,386 @@
+// Checkpoint-under-load bench -> BENCH_ckpt.json, plus the crash-and-
+// restore CI modes.
+//
+// Default (report) mode, per rep:
+//   1. token-mover writer threads against a ShardedMap, measured alone
+//      (baseline_ops_per_s) and then while full checkpoints stream
+//      back-to-back (stream_ops_per_s) -> dip_ratio. The stream is
+//      ReadOnly + tick-certified, so writers should barely notice.
+//   2. quiesce, full checkpoint, dirty ~10% of the routing slots, then an
+//      incremental -> full_bytes vs incr_bytes and segment reuse counts.
+//   3. restore from disk -> restore_ms, restore_keys, roundtrip_exact
+//      (restored image == live image), checksums_ok (deep verify).
+//
+// The token-mover workload conserves the key count by construction, so
+// every checkpoint of it must hold exactly --keys keys — the schema gate
+// checks restore_keys against meta.keys exactly.
+//
+// Crash modes (scripts/crash_restore_ci.sh):
+//   --crash-run  --dir=D --oplog=F [--kill-after-checkpoints=N
+//                --kill-segments=K] [--duration-ms=T]
+//     writes the token ids to F, starts movers, takes checkpoints; with
+//     kill flags it SIGKILLs itself mid-stream of the (N+1)-th
+//     checkpoint; without, it loops until T then exits 0 (the CI script
+//     SIGKILLs it externally). Prints FIRST_CHECKPOINT_DONE once a
+//     complete checkpoint exists.
+//   --crash-verify --dir=D --oplog=F
+//     restores the newest valid checkpoint and verifies the token set
+//     against the oplog exactly; exit 0 on PASS.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_core/cli.hpp"
+#include "bench_core/report.hpp"
+#include "bench_core/rng.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "shard/maintenance_scheduler.hpp"
+#include "shard/sharded_map.hpp"
+
+namespace ckpt = sftree::ckpt;
+namespace shard = sftree::shard;
+namespace bench = sftree::bench;
+using sftree::Key;
+using sftree::Value;
+
+namespace {
+
+constexpr Key kKeyspace = 1 << 22;
+
+// Token movers: thread w owns tokens w, w+T, w+2T, ... and keeps moving
+// them to fresh keys; values carry the token id, so the key count and the
+// value multiset are invariant at every instant.
+class Movers {
+ public:
+  Movers(shard::ShardedMap& map, int threads, std::int64_t tokens)
+      : map_(map), tokens_(tokens) {
+    positions_.resize(static_cast<std::size_t>(tokens));
+    for (std::int64_t t = 0; t < tokens; ++t) {
+      positions_[static_cast<std::size_t>(t)] = static_cast<Key>(t);
+      map_.insert(static_cast<Key>(t), static_cast<Value>(t));
+    }
+    for (int w = 0; w < threads; ++w) {
+      workers_.emplace_back([this, w, threads] { run(w, threads); });
+    }
+  }
+  ~Movers() { stopAndJoin(); }
+  void stopAndJoin() {
+    stop_.store(true);
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+ private:
+  void run(int self, int stride) {
+    bench::Rng rng(static_cast<std::uint64_t>(0xC0FFEE + self));
+    const std::uint64_t mine =
+        static_cast<std::uint64_t>((tokens_ - self + stride - 1) / stride);
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const std::int64_t tok =
+          self + stride * static_cast<std::int64_t>(rng.nextBounded(mine));
+      Key& cur = positions_[static_cast<std::size_t>(tok)];
+      const Key dst = static_cast<Key>(rng.nextBounded(kKeyspace));
+      if (map_.move(cur, dst)) cur = dst;
+      ops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  shard::ShardedMap& map_;
+  const std::int64_t tokens_;
+  std::vector<Key> positions_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> ops_{0};
+};
+
+double opsPerSec(std::uint64_t ops, std::uint64_t ns) {
+  return ns == 0 ? 0.0 : static_cast<double>(ops) * 1e9 /
+                             static_cast<double>(ns);
+}
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::map<Key, Value> dump(shard::ShardedMap& map) {
+  std::map<Key, Value> out;
+  for (const Key k : map.keysInOrder()) out[k] = *map.get(k);
+  return out;
+}
+
+int crashRun(const bench::Cli& cli) {
+  const std::string dir = cli.str("dir", "ckpt_crash_dir");
+  const std::string oplog = cli.str("oplog", dir + "/oplog.txt");
+  const auto tokens = cli.integer("keys", 10'000);
+  const int threads = static_cast<int>(cli.integer("threads", 4));
+  const auto killAfter = cli.integer("kill-after-checkpoints", -1);
+  const auto killSegments = cli.integer("kill-segments", 8);
+  const auto durationMs = cli.integer("duration-ms", 4'000);
+
+  shard::MaintenanceScheduler scheduler;
+  shard::ShardedMapConfig cfg;
+  cfg.shards = 4;
+  cfg.scheduler = &scheduler;
+  shard::ShardedMap map(cfg);
+
+  // Sidecar op log FIRST (flushed before any checkpoint): the ground truth
+  // the verifier replays. The mover workload conserves it by construction.
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::ofstream log(oplog);
+    if (!log) {
+      std::cerr << "cannot write oplog " << oplog << "\n";
+      return 2;
+    }
+    log << tokens << "\n";
+    for (std::int64_t t = 0; t < tokens; ++t) log << t << "\n";
+  }
+
+  Movers movers(map, threads, tokens);
+  ckpt::CheckpointConfig ccfg;
+  ccfg.dir = dir;
+  {
+    ckpt::CheckpointWriter writer(map, ccfg);
+    const auto first = writer.full();
+    if (!first.ok) {
+      std::cerr << "first checkpoint failed: " << first.error << "\n";
+      return 2;
+    }
+    // Marker for the external-SIGKILL phase: from here on, killing this
+    // process at ANY instant must leave a restorable directory.
+    std::cout << "FIRST_CHECKPOINT_DONE" << std::endl;
+
+    if (killAfter >= 0) {
+      for (std::int64_t i = 0; i < killAfter; ++i) {
+        const auto r = writer.incremental();
+        if (!r.ok) {
+          std::cerr << "checkpoint " << i << " failed: " << r.error << "\n";
+          return 2;
+        }
+      }
+      // Self-kill mid-stream: SIGKILL after killSegments flushed segments
+      // of the next full image. Never returns.
+      ckpt::CheckpointConfig kcfg = ccfg;
+      kcfg.killAfterSegments = static_cast<int>(killSegments);
+      ckpt::CheckpointWriter killer(map, kcfg);
+      (void)killer.full();
+      std::cerr << "expected SIGKILL did not happen\n";
+      return 2;
+    }
+
+    // External-kill mode: checkpoint continuously until the driver kills
+    // us (or the duration elapses and we exit cleanly).
+    const std::uint64_t deadline =
+        nowNs() + static_cast<std::uint64_t>(durationMs) * 1'000'000ULL;
+    while (nowNs() < deadline) {
+      const auto r = writer.incremental();
+      if (!r.ok) {
+        std::cerr << "checkpoint failed: " << r.error << "\n";
+        return 2;
+      }
+    }
+  }
+  movers.stopAndJoin();
+  return 0;
+}
+
+int crashVerify(const bench::Cli& cli) {
+  const std::string dir = cli.str("dir", "ckpt_crash_dir");
+  const std::string oplog = cli.str("oplog", dir + "/oplog.txt");
+
+  std::ifstream log(oplog);
+  if (!log) {
+    std::cerr << "cannot read oplog " << oplog << "\n";
+    return 2;
+  }
+  std::int64_t tokens = 0;
+  log >> tokens;
+  std::set<Value> expect;
+  for (std::int64_t i = 0; i < tokens; ++i) {
+    Value v = 0;
+    log >> v;
+    expect.insert(v);
+  }
+
+  shard::MaintenanceScheduler scheduler;
+  ckpt::RestoreOptions ropt;
+  ropt.mapConfig.scheduler = &scheduler;
+  ckpt::RestoreReport rep;
+  const auto map = ckpt::restore(dir, ropt, rep);
+  if (map == nullptr) {
+    std::cerr << "FAIL: restore: " << rep.error << "\n";
+    return 1;
+  }
+  std::cout << "restored ckpt-" << rep.fileId << " (" << rep.keys
+            << " keys, " << rep.skippedFiles << " torn file(s) skipped)\n";
+
+  const auto image = dump(*map);
+  std::set<Value> got;
+  for (const auto& [k, v] : image) got.insert(v);
+  if (image.size() != expect.size() || got != expect) {
+    std::cerr << "FAIL: restored " << image.size() << " keys / "
+              << got.size() << " distinct tokens, oplog has "
+              << expect.size() << "\n";
+    return 1;
+  }
+  std::cout << "PASS: key conservation holds (" << expect.size()
+            << " tokens)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Cli cli(argc, argv);
+  if (cli.flag("crash-run")) return crashRun(cli);
+  if (cli.flag("crash-verify")) return crashVerify(cli);
+
+  const int threads = static_cast<int>(cli.integer("threads", 4));
+  const auto keys = cli.integer("keys", 20'000);
+  const auto windowMs = cli.integer("window-ms", 400);
+  const int reps = static_cast<int>(cli.integer("reps", 3));
+  const std::string dir = cli.str("dir", "ckpt_bench_dir");
+
+  bench::JsonReport json("ckpt");
+  json.meta()
+      .set("threads", threads)
+      .set("keys", keys)
+      .set("window_ms", windowMs)
+      .set("reps", reps)
+      .set("shards", 4)
+      .set("routing_slots", 64)
+      .set("dirty_slot_percent", 10)
+      .set("hw_concurrency",
+           static_cast<int>(std::thread::hardware_concurrency()));
+
+  bench::Table table({"rep", "base_ops/s", "stream_ops/s", "dip", "full_B",
+                      "incr_B", "reused", "restore_ms", "exact"});
+
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::string repDir = dir + "/rep" + std::to_string(rep);
+    std::filesystem::remove_all(repDir);
+
+    shard::MaintenanceScheduler scheduler;
+    shard::ShardedMapConfig cfg;
+    cfg.shards = 4;
+    cfg.scheduler = &scheduler;
+    shard::ShardedMap map(cfg);
+    Movers movers(map, threads, keys);
+
+    // Phase A: writers alone.
+    const std::uint64_t a0ops = movers.ops();
+    const std::uint64_t a0 = nowNs();
+    std::this_thread::sleep_for(std::chrono::milliseconds(windowMs));
+    const double baseline = opsPerSec(movers.ops() - a0ops, nowNs() - a0);
+
+    // Phase B: writers while full checkpoints stream back-to-back.
+    ckpt::CheckpointConfig ccfg;
+    ccfg.dir = repDir;
+    ckpt::CheckpointWriter writer(map, ccfg);
+    const std::uint64_t b0ops = movers.ops();
+    const std::uint64_t b0 = nowNs();
+    const std::uint64_t bEnd =
+        b0 + static_cast<std::uint64_t>(windowMs) * 1'000'000ULL;
+    std::uint64_t streamedKeys = 0;
+    std::uint64_t streamedNs = 0;
+    int streams = 0;
+    bool forced = false;
+    int rounds = 0;
+    while (nowNs() < bEnd) {
+      const auto r = writer.full();
+      if (!r.ok) {
+        std::cerr << "checkpoint failed: " << r.error << "\n";
+        return 1;
+      }
+      streamedKeys += r.keys;
+      streamedNs += r.streamNs;
+      forced = forced || r.forcedCut;
+      rounds = std::max(rounds, r.rounds);
+      ++streams;
+    }
+    const double stream = opsPerSec(movers.ops() - b0ops, nowNs() - b0);
+    const double dip = baseline > 0 ? stream / baseline : 0.0;
+
+    // Phase C: quiet full image, slot-clustered dirtying, incremental.
+    movers.stopAndJoin();
+    const auto fullRes = writer.full();
+    if (!fullRes.ok) {
+      std::cerr << "full checkpoint failed: " << fullRes.error << "\n";
+      return 1;
+    }
+    const int dirtySlots = map.routingSlots() / 10;
+    {
+      // Re-write ~10% of the slots' keys (erase + insert keeps the count
+      // invariant the restore gate checks).
+      const auto image = dump(map);
+      for (const auto& [k, v] : image) {
+        if (static_cast<int>(map.slotOfKey(k)) < dirtySlots) {
+          map.erase(k);
+          map.insert(k, v + 1);
+        }
+      }
+    }
+    const auto incr = writer.incremental();
+    if (!incr.ok) {
+      std::cerr << "incremental checkpoint failed: " << incr.error << "\n";
+      return 1;
+    }
+
+    // Phase D: restore + verification.
+    int badFiles = 0;
+    const auto newest = ckpt::newestValidCheckpoint(repDir, &badFiles);
+    const bool checksumsOk =
+        newest.has_value() && *newest == incr.fileId && badFiles == 0;
+    shard::MaintenanceScheduler scheduler2;
+    ckpt::RestoreOptions ropt;
+    ropt.mapConfig.scheduler = &scheduler2;
+    ckpt::RestoreReport rrep;
+    const auto restored = ckpt::restore(repDir, ropt, rrep);
+    const bool exact =
+        restored != nullptr && rrep.ok && dump(*restored) == dump(map);
+
+    json.addRecord()
+        .set("rep", rep)
+        .set("baseline_ops_per_s", baseline)
+        .set("stream_ops_per_s", stream)
+        .set("dip_ratio", dip)
+        .set("streams", streams)
+        .set("writer_keys_per_s", opsPerSec(streamedKeys, streamedNs))
+        .set("full_rounds", rounds)
+        .set("forced_cut", forced)
+        .set("full_bytes", fullRes.bytesWritten)
+        .set("incr_bytes", incr.bytesWritten)
+        .set("incr_fresh_segments", incr.freshSegments)
+        .set("incr_reused_segments", incr.reusedSegments)
+        .set("restore_ms",
+             static_cast<double>(rrep.restoreNs) / 1e6)
+        .set("restore_keys", rrep.keys)
+        .set("roundtrip_exact", exact)
+        .set("checksums_ok", checksumsOk);
+    table.addRow({bench::Table::num(rep), bench::Table::num(baseline, 0),
+                  bench::Table::num(stream, 0), bench::Table::num(dip, 3),
+                  bench::Table::num(fullRes.bytesWritten),
+                  bench::Table::num(incr.bytesWritten),
+                  bench::Table::num(incr.reusedSegments),
+                  bench::Table::num(
+                      static_cast<double>(rrep.restoreNs) / 1e6, 2),
+                  exact ? "yes" : "NO"});
+  }
+
+  table.print();
+  if (!json.writeFile(cli.jsonPath())) return 1;
+  return 0;
+}

@@ -55,6 +55,17 @@ build. Dispatch is on the top-level "bench" tag:
     record each. --fresh relaxes the amortization ratio to 1.15x for
     reports generated on noisy shared runners; the committed baseline is
     always held to 1.3x.
+  * ckpt — field-presence checks plus the checkpoint/restore acceptance
+    gates (BENCH_ckpt.json): every rep's segment checksums must have
+    verified, every restore round-trip must reproduce the checkpointed
+    key/value set exactly (restore_keys == meta.keys and the dumped maps
+    compare equal), the 10%-dirty-slots incremental must be strictly
+    smaller than the full image with at least one clean segment reused
+    from the parent file, and the mutator-throughput dip while a full
+    checkpoint streams must stay >= 0.5 on the best rep (interference on
+    shared runners is additive, so the best rep estimates the intrinsic
+    dip; --fresh relaxes the floor to 0.35 — correctness gates are never
+    relaxed).
   * maintpath — field-presence checks, the targeted-vs-sweep acceptance
     gates (targeted maintenance must do >= 1.5x less maintenance work per
     committed update than full sweeps, with final height within 1.5x), and,
@@ -430,6 +441,67 @@ def check_serving(top, fresh) -> None:
           "conserved")
 
 
+CKPT_RECORD_KEYS = [
+    "rep", "baseline_ops_per_s", "stream_ops_per_s", "dip_ratio", "streams",
+    "writer_keys_per_s", "full_rounds", "forced_cut", "full_bytes",
+    "incr_bytes", "incr_fresh_segments", "incr_reused_segments",
+    "restore_ms", "restore_keys", "roundtrip_exact", "checksums_ok",
+]
+
+CKPT_META_KEYS = [
+    "threads", "keys", "window_ms", "reps", "shards", "routing_slots",
+    "dirty_slot_percent", "hw_concurrency",
+]
+
+
+def check_ckpt(top, fresh) -> None:
+    check_repo_report(top, "ckpt", CKPT_RECORD_KEYS)
+    require(top["meta"], CKPT_META_KEYS, "ckpt.meta")
+    meta = top["meta"]
+
+    # Correctness gates hold per rep and are never noise-relaxed: a single
+    # failed checksum or inexact round-trip is a durability bug, not noise.
+    for rec in top["results"]:
+        rep = rec["rep"]
+        if not rec["checksums_ok"]:
+            fail(f"ckpt rep {rep}: a segment or manifest checksum failed "
+                 "verification during restore")
+        if not rec["roundtrip_exact"]:
+            fail(f"ckpt rep {rep}: the restored map did not compare equal "
+                 "to the checkpointed map (key/value round-trip inexact)")
+        if rec["restore_keys"] != meta["keys"]:
+            fail(f"ckpt rep {rep}: restore loaded {rec['restore_keys']} "
+                 f"keys, checkpointed map held {meta['keys']}")
+        if rec["incr_bytes"] >= rec["full_bytes"]:
+            fail(f"ckpt rep {rep}: the {meta['dirty_slot_percent']}%-dirty "
+                 f"incremental ({rec['incr_bytes']} B) is not smaller than "
+                 f"the full image ({rec['full_bytes']} B) — dirty-slot "
+                 "tracking is not pruning clean segments")
+        if rec["incr_reused_segments"] <= 0:
+            fail(f"ckpt rep {rep}: the incremental reused zero clean "
+                 "segments from its parent file")
+        if rec["streams"] <= 0:
+            fail(f"ckpt rep {rep}: no full checkpoint completed inside the "
+                 "measurement window")
+
+    # Perf gate: writers must keep most of their throughput while a full
+    # checkpoint streams. Best rep over the interleaved runs (additive
+    # interference — the obs_overhead rationale); fresh reports on shared
+    # runners get a relaxed floor, the committed baseline does not.
+    best_dip = max(r["dip_ratio"] for r in top["results"])
+    kind = "fresh" if fresh else "committed"
+    dip_bound = 0.35 if fresh else 0.5
+    if best_dip < dip_bound:
+        fail(f"mutator throughput dipped to {best_dip:.2f}x of baseline "
+             f"while streaming a checkpoint (floor {dip_bound:.2f} for a "
+             f"{kind} report)")
+    print(f"check_bench_schema: ckpt gates OK ({kind}) — best dip "
+          f"{best_dip:.2f}, incremental "
+          f"{top['results'][0]['incr_bytes']}/{top['results'][0]['full_bytes']}"
+          f" B, {len(top['results'])} reps round-trip exact, checksums "
+          "verified")
+
+
 MAINT_RECORD_KEYS = [
     "mode", "rep", "ops_per_us", "final_height", "committed_updates",
     "maint_nodes_visited", "visits_per_update", "maint_passes",
@@ -533,6 +605,8 @@ def main() -> None:
         check_splay(top, args.fresh)
     elif top["bench"] == "serving_ycsb":
         check_serving(top, args.fresh)
+    elif top["bench"] == "ckpt":
+        check_ckpt(top, args.fresh)
     else:
         fail(f"unknown top-level bench tag '{top['bench']}'")
 

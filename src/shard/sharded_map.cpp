@@ -36,7 +36,14 @@ inline std::uint64_t mix64(std::uint64_t x) {
 // --------------------------------------------------------------------------
 // OpGuard
 // --------------------------------------------------------------------------
+thread_local int ShardedMap::OpGuard::tlsTicketDepth_ = 0;
+
 void ShardedMap::OpGuard::drain() {
+  // Serialized flips make the parity wait a true barrier: when the lock is
+  // acquired, every ticket from before the previous drain's flip has
+  // exited (inductively), so waiting out the current parity covers every
+  // ticket entered before ours.
+  std::lock_guard<std::mutex> lk(drainMu_);
   const std::uint64_t old = epoch_.fetch_add(1, std::memory_order_seq_cst);
   const std::size_t p = old & 1;
   for (;;) {
@@ -64,6 +71,19 @@ ShardedMap::ShardedMap(ShardedMapConfig cfg) : cfg_(std::move(cfg)) {
         "re-sharding granularity)");
   }
   if (cfg_.migrationBatch < 1) cfg_.migrationBatch = 1;
+  if (!cfg_.initialSlotAssignment.empty()) {
+    if (cfg_.initialSlotAssignment.size() !=
+        static_cast<std::size_t>(cfg_.routingSlots)) {
+      throw std::invalid_argument(
+          "ShardedMap: initialSlotAssignment must name every routing slot");
+    }
+    for (const int v : cfg_.initialSlotAssignment) {
+      if (v < 0 || v >= cfg_.shards) {
+        throw std::invalid_argument(
+            "ShardedMap: initialSlotAssignment entry out of shard range");
+      }
+    }
+  }
   if (cfg_.domainMode == DomainMode::PerShard &&
       cfg_.stmConfig.orecLogSize == stm::Config{}.orecLogSize) {
     // Keep the *total* orec footprint at the single-domain default: each
@@ -90,16 +110,24 @@ ShardedMap::ShardedMap(ShardedMapConfig cfg) : cfg_(std::move(cfg)) {
   live_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) live_.push_back(makeShard());
 
-  // Per-slot traffic gauges (value-initialized to zero).
+  // Per-slot traffic gauges and checkpoint dirty ticks (value-initialized
+  // to zero).
   slotTicks_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(cfg_.routingSlots));
+  slotWriteTicks_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(cfg_.routingSlots));
 
-  // Initial routing: contiguous slot blocks, floor/ceil(S/N) slots each.
+  // Initial routing: contiguous slot blocks, floor/ceil(S/N) slots each —
+  // unless the caller pinned an explicit slot->shard layout (checkpoint
+  // restore recreating the image's topology).
   auto t = std::make_unique<RoutingTable>();
   t->version = tableVersion_++;
   t->slots.resize(static_cast<std::size_t>(cfg_.routingSlots));
   for (std::size_t s = 0; s < t->slots.size(); ++s) {
-    const std::size_t shard = s * n / t->slots.size();
+    const std::size_t shard =
+        cfg_.initialSlotAssignment.empty()
+            ? s * n / t->slots.size()
+            : static_cast<std::size_t>(cfg_.initialSlotAssignment[s]);
     t->slots[s].owner = live_[shard]->tree.get();
   }
   tableTx_.storeRelaxed(t.release());  // pre-publication: single-threaded
@@ -361,6 +389,7 @@ bool ShardedMap::insertTx(stm::Tx& tx, Key k, Value v) {
   const RoutingTable* tbl = routeTx(tx);
   const std::size_t slot = slotOf(k);
   bumpSlotTick(slot);
+  bumpSlotWriteTick(slot);  // body time: before this attempt can commit
   if (obs::traceEnabled()) {
     obs::trace(obs::TraceKind::kMapOp, tbl->version, slot, 0, kOpInsert);
   }
@@ -381,6 +410,7 @@ bool ShardedMap::eraseTx(stm::Tx& tx, Key k) {
   const RoutingTable* tbl = routeTx(tx);
   const std::size_t slot = slotOf(k);
   bumpSlotTick(slot);
+  bumpSlotWriteTick(slot);  // body time: before this attempt can commit
   if (obs::traceEnabled()) {
     obs::trace(obs::TraceKind::kMapOp, tbl->version, slot, 0, kOpErase);
   }
@@ -451,6 +481,8 @@ bool ShardedMap::moveTx(stm::Tx& tx, Key from, Key to) {
   const std::size_t slotTo = slotOf(to);
   bumpSlotTick(slotFrom);
   if (slotTo != slotFrom) bumpSlotTick(slotTo);
+  bumpSlotWriteTick(slotFrom);  // body time, both ends of the move
+  if (slotTo != slotFrom) bumpSlotWriteTick(slotTo);
   if (obs::traceEnabled()) {
     obs::trace(obs::TraceKind::kMapOp, t->version, slotFrom, 0, kOpMove);
   }
@@ -517,6 +549,74 @@ std::size_t ShardedMap::countRange(Key lo, Key hi) {
       [&](stm::Tx& tx) { return countRangeTx(tx, lo, hi); });
   st.endOp();
   return r;
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint/snapshot scans (see docs/checkpoint.md for the certification
+// protocol these serve)
+// --------------------------------------------------------------------------
+std::vector<std::uint64_t> ShardedMap::slotWriteTicks() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(cfg_.routingSlots));
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s] = slotWriteTicks_[s].load(std::memory_order_seq_cst);
+  }
+  return out;
+}
+
+void ShardedMap::snapshotChunkTx(stm::Tx& tx, int anchorSlot, Key lo,
+                                 std::size_t maxN,
+                                 const std::function<bool(Key)>& pred,
+                                 std::vector<trees::SFTree::ExtractedKV>& out,
+                                 SnapshotChunk& info) {
+  const OpGuard::Ticket t = guard_.enter();
+  tx.onSettled([this, t] { guard_.exit(t); });
+  info = SnapshotChunk{};
+  out.clear();
+  const RoutingTable* tab = routeTx(tx);  // per attempt: re-route on retry
+  const RouteEntry e = tab->slots[static_cast<std::size_t>(anchorSlot)];
+  if (e.prev != nullptr) {
+    // Mid-migration: the slot's keys straddle two trees. Nothing here is
+    // wrong to scan, but certifying it is the dirty tick's job and the
+    // migration bumps have already voided this round — defer the slot.
+    info.migrating = true;
+    return;
+  }
+  trees::SFTree* owner = e.owner;
+  info.treeId = owner;
+  info.ownedSettledSlots.reserve(tab->slots.size());
+  for (std::size_t s = 0; s < tab->slots.size(); ++s) {
+    if (tab->slots[s].owner == owner && tab->slots[s].prev == nullptr) {
+      info.ownedSettledSlots.push_back(static_cast<int>(s));
+    }
+  }
+  Key nextLo = lo;
+  info.treeComplete = owner->scanRangeTx(tx, lo, maxN, pred, out, nextLo);
+  info.nextLo = nextLo;
+}
+
+void ShardedMap::snapshotAllTx(stm::Tx& tx,
+                               const std::function<bool(Key)>& pred,
+                               std::vector<trees::SFTree::ExtractedKV>& out) {
+  const OpGuard::Ticket t = guard_.enter();
+  tx.onSettled([this, t] { guard_.exit(t); });
+  out.clear();  // the enclosing transaction may retry this attempt
+  const RoutingTable* tab = routeTx(tx);
+  std::vector<trees::SFTree::ExtractedKV> chunk;
+  for (trees::SFTree* tree : distinctTrees(*tab)) {
+    Key lo = std::numeric_limits<Key>::min();
+    for (;;) {
+      Key nextLo = lo;
+      // maxN well below SIZE_MAX/4: scanRangeTx sizes its examine budget
+      // at 4*maxN and must not overflow. One call normally completes the
+      // tree; the loop is belt-and-braces for the budget edge.
+      const bool complete =
+          tree->scanRangeTx(tx, lo, std::numeric_limits<std::size_t>::max() / 8,
+                            pred, chunk, nextLo);
+      out.insert(out.end(), chunk.begin(), chunk.end());
+      if (complete) break;
+      lo = nextLo;
+    }
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -594,6 +694,16 @@ void ShardedMap::migrateSlots(trees::SFTree* src, trees::SFTree* dst,
   };
   for (bool done = false; !done;) {
     Key nextLo = cursor;
+    // Per-slot content is conserved by a migration batch (keys move
+    // src -> dst atomically), but a snapshot walk streaming one of the
+    // involved *trees* mid-batch could see a moved key at neither end of
+    // its multi-chunk walk. Bumping every moved slot's dirty tick before
+    // the batch transaction begins voids any certification window the
+    // batch intersects: a checkpoint sweep that missed these bumps ran
+    // before this point, hence before the batch could disturb anything.
+    for (const int s : movedSlots) {
+      bumpSlotWriteTick(static_cast<std::size_t>(s));
+    }
     const std::uint64_t abortsBefore =
         cfg_.adaptiveMigrationBatch ? myAborts() : 0;
     const std::uint64_t batchStart = obs::tick();

@@ -42,6 +42,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/histogram.hpp"
@@ -98,6 +99,13 @@ struct ShardedMapConfig {
   // PerShard mode: the configuration each owned per-shard domain is
   // constructed with.
   stm::Config stmConfig{};
+  // Restore-time topology: explicit slot -> shard assignment for the
+  // initial routing table (ckpt::restore rebuilds the checkpointed
+  // slot layout before bulk-loading each shard, so the restored map starts
+  // with the same partition the image was cut from instead of the default
+  // contiguous blocks). Empty = contiguous blocks; otherwise the size must
+  // equal routingSlots and every value must be in [0, shards).
+  std::vector<int> initialSlotAssignment{};
 };
 
 // Aggregated view over all shards. The total sizeEstimate — and, since the
@@ -257,6 +265,79 @@ class ShardedMap final : public trees::ITransactionalMap {
 
   ReshardStats reshardStats() const;
 
+  // --- checkpoint/snapshot support (src/ckpt) -------------------------------
+  // The routing slot key k hashes onto: a pure function of the (lifetime-
+  // fixed) slot count, so the checkpoint layer can demultiplex streamed
+  // keys into per-slot segments and restore can re-route them.
+  std::size_t slotOfKey(Key k) const { return slotOf(k); }
+  // Per-slot *mutation* version counters, distinct from the slotOpTicks
+  // traffic gauges (which also tick on reads and would false-dirty every
+  // slot a lookup touches). Bumped inside the body of every attempt that
+  // may change a slot's content — insert/erase/move and each migration
+  // batch — i.e. *before* that transaction can commit, with seq_cst on
+  // both sides. The checkpoint certification protocol (sample -> census
+  // drain -> stream -> resample; docs/checkpoint.md) turns "tick unchanged"
+  // into "slot content unchanged across the streamed window": a writer
+  // whose bump the resample missed is seq_cst-ordered after it, so its
+  // commit lands after the cut; a writer that bumped before the first
+  // sample still held its operation-census ticket, so quiesceOps() waited
+  // out its commit before the stream read anything.
+  std::uint64_t slotWriteTick(int slot) const {
+    return slotWriteTicks_[static_cast<std::size_t>(slot)].load(
+        std::memory_order_seq_cst);
+  }
+  std::vector<std::uint64_t> slotWriteTicks() const;
+  // Checkpoint certification barrier: waits until every operation in
+  // flight at the call has fully settled (the same epoch-parity census
+  // drain table republication uses). After it returns, any update whose
+  // dirty-tick bump predates the caller's tick samples has committed or
+  // aborted — the other half of the certification argument above.
+  void quiesceOps() { guard_.drain(); }
+  // Operation fence for the checkpoint forced cut. fencedOpsBegin() parks
+  // operations newly arriving at the census and drains the in-flight ones;
+  // until fencedOpsEnd() the map is near-quiescent (threads already inside
+  // an enclosing transaction, and the fencing thread itself, pass through),
+  // so a whole-map read transaction taken under the fence finishes in a
+  // bounded number of attempts instead of being starved by sustained write
+  // traffic. Maintenance and migration keep running — they preserve
+  // logical content and the cut transaction serializes against them.
+  void fencedOpsBegin() {
+    guard_.fenceBegin();
+    guard_.drain();
+  }
+  void fencedOpsEnd() { guard_.fenceEnd(); }
+
+  // One bounded streaming chunk of a snapshot walk. Inside the caller's
+  // transaction: resolves `anchorSlot`'s route, and — unless the slot is
+  // mid-migration (info.migrating; nothing is scanned, the caller defers
+  // the slot) — scans the owning tree in key order from `lo`, collecting
+  // up to maxN present pred-matching pairs. info reports the walked tree's
+  // identity (the caller abandons a multi-chunk walk whose anchor re-routed
+  // to a different tree between chunks) and the slots that tree currently
+  // owns outright (settled, no migration source) — the slots whose keys a
+  // completed walk of this tree has fully covered.
+  struct SnapshotChunk {
+    bool migrating = false;     // anchor slot mid-migration: nothing scanned
+    bool treeComplete = false;  // the walk exhausted the tree's key space
+    Key nextLo = 0;             // resume cursor when !treeComplete
+    const void* treeId = nullptr;        // identity of the tree walked
+    std::vector<int> ownedSettledSlots;  // slots settled-owned by that tree
+  };
+  void snapshotChunkTx(stm::Tx& tx, int anchorSlot, Key lo, std::size_t maxN,
+                       const std::function<bool(Key)>& pred,
+                       std::vector<trees::SFTree::ExtractedKV>& out,
+                       SnapshotChunk& info);
+  // Whole-map pred-restricted scan inside the caller's transaction: every
+  // distinct tree the current route references, migration sources included.
+  // Unbounded read set — the checkpoint's forced-cut fallback, the same
+  // proven shape as countRangeTx (one serialization point over the map).
+  void snapshotAllTx(stm::Tx& tx, const std::function<bool(Key)>& pred,
+                     std::vector<trees::SFTree::ExtractedKV>& out);
+  // The domain checkpoint transactions root in (the routing domain: every
+  // chunk joins it first through routeTx anyway; tree domains are joined
+  // per touch).
+  stm::Domain& snapshotRootDomain() { return *routingDomain_; }
+
   // Registers a snapshot source emitting aggregatedStats() (map totals,
   // summed maintenance, STM counters + abort taxonomy), reshardStats()
   // (including the migration-batch latency histogram), and the per-slot
@@ -306,6 +387,22 @@ class ShardedMap final : public trees::ITransactionalMap {
    public:
     using Ticket = std::uint32_t;  // (stripe << 1) | parity
     Ticket enter() {
+      // Operation fence (checkpoint forced cut): park NEW operations until
+      // the fence lifts. Threads already holding a ticket must pass — their
+      // enclosing transaction (e.g. a serving-tier batch doing several map
+      // ops in one tx) has to finish for the drain to complete, so blocking
+      // its later ops would deadlock the fence against its own drain. The
+      // fencing thread also passes: the fenced cut reads the map through
+      // this same census.
+      if (tlsTicketDepth_ == 0 &&
+          fence_.load(std::memory_order_acquire) &&
+          fenceOwner_.load(std::memory_order_relaxed) !=
+              std::this_thread::get_id()) {
+        do {
+          std::this_thread::yield();
+        } while (fence_.load(std::memory_order_acquire));
+      }
+      ++tlsTicketDepth_;
       const std::size_t s = stm::threadStripe(kStripes);
       for (;;) {
         const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
@@ -320,9 +417,20 @@ class ShardedMap final : public trees::ITransactionalMap {
       }
     }
     void exit(Ticket t) {
+      --tlsTicketDepth_;
       stripes_[t >> 1].n[t & 1].fetch_sub(1, std::memory_order_seq_cst);
     }
     void drain();
+    // Raise/lower the operation fence. The caller drains after raising;
+    // from then until fenceEnd() only already-ticketed threads and the
+    // owner reach the trees, so a whole-map read transaction cannot be
+    // starved by op traffic.
+    void fenceBegin() {
+      fenceOwner_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+      fence_.store(true, std::memory_order_seq_cst);
+    }
+    void fenceEnd() { fence_.store(false, std::memory_order_seq_cst); }
 
    private:
     static constexpr std::size_t kStripes = 16;
@@ -331,6 +439,18 @@ class ShardedMap final : public trees::ITransactionalMap {
     };
     Stripe stripes_[kStripes];
     std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<bool> fence_{false};
+    std::atomic<std::thread::id> fenceOwner_{};
+    // Tickets this thread currently holds (across ALL maps — the bypass is
+    // deliberately conservative; a stray pass-through only costs the fence
+    // a little quiescence, never correctness).
+    static thread_local int tlsTicketDepth_;
+    // Serializes drains. Two-parity epoch flips are only a full barrier
+    // when flips don't interleave: a concurrent flip would strand an old
+    // ticket on the parity the other drainer never waits for. Historically
+    // every drain ran under reshardMu_ (publishTable); checkpoint
+    // certification (quiesceOps) drains from outside that lock.
+    std::mutex drainMu_;
   };
 
   // RAII ticket for the self-contained operations (the transaction, if any,
@@ -362,6 +482,13 @@ class ShardedMap final : public trees::ITransactionalMap {
   // one uncontended-in-expectation RMW per attempt.
   void bumpSlotTick(std::size_t slot) {
     slotTicks_[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+  // Pre-commit dirty mark for the checkpoint certification (see
+  // slotWriteTick). seq_cst, unlike the traffic gauge: the certifying
+  // resample must be able to conclude "bump not observed => bump (and the
+  // commit sequenced after it) lands after my sample" from the total order.
+  void bumpSlotWriteTick(std::size_t slot) {
+    slotWriteTicks_[slot].fetch_add(1, std::memory_order_seq_cst);
   }
   // Non-transactional peek (root-domain/kind selection, diagnostics,
   // quiesced walks). Transactional bodies must use routeTx instead.
@@ -439,6 +566,9 @@ class ShardedMap final : public trees::ITransactionalMap {
   // One relaxed counter per routing slot (fixed size routingSlots for the
   // map's lifetime, like the slot space itself).
   std::unique_ptr<std::atomic<std::uint64_t>[]> slotTicks_;
+  // Per-slot mutation versions for checkpoint certification (see
+  // slotWriteTick / bumpSlotWriteTick). Same fixed size.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slotWriteTicks_;
   std::uint64_t tableVersion_ = 0;  // reshardMu_ (and constructor) only
   mutable std::mutex reshardStatsMu_;
   ReshardStats reshardStats_;

@@ -207,6 +207,24 @@ class alignas(64) Tx {
     settledHooks_.push(std::forward<F>(hook));
   }
 
+  // One (domain, snapshot) pair per joined domain: the per-domain begin
+  // snapshots the current attempt's reads are consistent at (views_[i].rv,
+  // refreshed by snapshot extension). Sampled at body end by consumers that
+  // need cut provenance — the checkpoint writer stamps the forced-cut
+  // transaction's joined-domain snapshots into the manifest, recording
+  // *where on each clock* the multi-domain read-only view was pinned.
+  // Precondition: active().
+  struct SnapshotStamp {
+    const Domain* domain;
+    std::uint64_t rv;
+  };
+  std::vector<SnapshotStamp> snapshotStamps() const {
+    std::vector<SnapshotStamp> out;
+    out.reserve(views_.size());
+    for (const DomainView& v : views_) out.push_back({v.domain, v.rv});
+    return out;
+  }
+
   // The root domain's (thread, domain) statistics slot. Precondition:
   // begin() has run at least once.
   ThreadStats& stats() { return *stats_; }

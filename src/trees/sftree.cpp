@@ -304,6 +304,10 @@ struct SFTree::ExtractCtx {
   const std::function<bool(Key)>* pred;
   std::vector<ExtractedKV>* out;
   Key nextLo = 0;
+  // Extraction mode (migration): collected keys are logically deleted and
+  // published to maintenance. Scan mode (checkpoint streaming) collects
+  // only — the walk writes nothing, so it can run zero-logging ReadOnly.
+  bool mutate = true;
 };
 
 bool SFTree::extractWalk(stm::Tx& tx, SFNode* n, Key lo, ExtractCtx& c) {
@@ -321,10 +325,12 @@ bool SFTree::extractWalk(stm::Tx& tx, SFNode* n, Key lo, ExtractCtx& c) {
     ++c.examined;
     if ((*c.pred)(n->key) && !n->deleted.read(tx)) {
       c.out->push_back(ExtractedKV{n->key, n->value.read(tx)});
-      n->deleted.write(tx, true);
-      // The logically deleted node is a physical-removal candidate for this
-      // tree's maintenance, exactly as after eraseTx.
-      captureViolation(tx, n->key, ViolationKind::kErase);
+      if (c.mutate) {
+        n->deleted.write(tx, true);
+        // The logically deleted node is a physical-removal candidate for
+        // this tree's maintenance, exactly as after eraseTx.
+        captureViolation(tx, n->key, ViolationKind::kErase);
+      }
     }
   }
   return extractWalk(tx, n->right.read(tx), lo, c);
@@ -353,6 +359,25 @@ bool SFTree::extractRangeTx(stm::Tx& tx, Key lo, std::size_t maxN,
     });
     updateTicks_.fetch_add(out.size(), std::memory_order_relaxed);
   }
+  if (!complete) nextLo = c.nextLo;
+  return complete;
+}
+
+bool SFTree::scanRangeTx(stm::Tx& tx, Key lo, std::size_t maxN,
+                         const std::function<bool(Key)>& pred,
+                         std::vector<ExtractedKV>& out, Key& nextLo) {
+  assert(tx.kind() != stm::TxKind::Elastic &&
+         "scanRangeTx requires Normal/ReadOnly (no pinning here)");
+  stm::DomainScope dscope(tx, domain_);
+  gc::txOpGuard(tx, registry_);
+  out.clear();  // the enclosing transaction may retry this attempt
+  ExtractCtx c;
+  c.maxN = maxN;
+  c.examineLimit = std::max<std::size_t>(4 * maxN, 256);
+  c.pred = &pred;
+  c.out = &out;
+  c.mutate = false;
+  const bool complete = extractWalk(tx, root_->left.read(tx), lo, c);
   if (!complete) nextLo = c.nextLo;
   return complete;
 }

@@ -299,6 +299,17 @@ class SFTree {
   // exactly one committed shard).
   std::size_t adoptRangeTx(stm::Tx& tx, const ExtractedKV* kvs,
                            std::size_t n);
+  // Read-only sibling of extractRangeTx: the same in-order walk, budgets
+  // and resume cursor, but it only *collects* the present pred-matching
+  // pairs — no logical deletes, no violation publishes, no size-estimate
+  // settlement. Safe under TxKind::ReadOnly (every read is validated in
+  // place; a stale read restarts the enclosing operation body), which is
+  // what lets a checkpoint stream a tree chunk-by-chunk without ever
+  // blocking or aborting writers. Must not run Elastic (window cuts could
+  // evict the walk's position reads; there is no pinning here).
+  bool scanRangeTx(stm::Tx& tx, Key lo, std::size_t maxN,
+                   const std::function<bool(Key)>& pred,
+                   std::vector<ExtractedKV>& out, Key& nextLo);
   // Exclusive absence check: returns false when k is present; otherwise
   // *write-locks* k's position (a value-preserving write to the null child
   // or the deleted flag, pinned like an update's position reads) and
@@ -486,9 +497,9 @@ class SFTree {
                     bool& didWork);
   void retireNode(SFNode* n);
 
-  // In-order walker behind extractRangeTx. Returns true to keep going,
-  // false once a budget stopped the walk (c.nextLo set to the first
-  // unexamined key).
+  // In-order walker behind extractRangeTx and scanRangeTx (ExtractCtx::
+  // mutate selects between them). Returns true to keep going, false once a
+  // budget stopped the walk (c.nextLo set to the first unexamined key).
   struct ExtractCtx;
   bool extractWalk(stm::Tx& tx, SFNode* n, Key lo, ExtractCtx& c);
 
